@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qarv/internal/ply"
+)
+
+func TestGenerateFramesAllFormats(t *testing.T) {
+	for _, format := range []string{"ascii", "binary_le", "binary_be"} {
+		dir := t.TempDir()
+		var out bytes.Buffer
+		err := run([]string{
+			"-character", "soldier", "-frames", "2", "-samples", "8000",
+			"-depth", "8", "-format", format, "-out", dir, "-seed", "3",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		for i := 0; i < 2; i++ {
+			path := filepath.Join(dir, "soldier_vox8_000"+string(rune('0'+i))+".ply")
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("%s: %v", format, err)
+			}
+			cloud, err := ply.ReadCloud(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s frame %d: %v", format, i, err)
+			}
+			if cloud.Len() < 1000 || !cloud.HasColors() {
+				t.Errorf("%s frame %d: %d points", format, i, cloud.Len())
+			}
+		}
+		if !strings.Contains(out.String(), "wrote") {
+			t.Error("no progress output")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-format", "exr"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown format must error")
+	}
+	if err := run([]string{"-character", "gopher"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown character must error")
+	}
+	if err := run([]string{"-wat"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

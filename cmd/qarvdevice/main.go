@@ -1,0 +1,144 @@
+// Command qarvdevice runs the device side of a live qarv session against
+// a qarvedge server: it generates a synthetic capture, encodes the octree
+// stream at every candidate depth, and streams frames with the
+// drift-plus-penalty controller deciding each frame's depth from the live
+// unacknowledged-byte backlog.
+//
+// Usage:
+//
+//	qarvdevice -addr HOST:PORT [-frames 300] [-interval 10ms]
+//	           [-samples 60000] [-knee 30] [-seed 1]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"qarv/internal/core"
+	"qarv/internal/delay"
+	"qarv/internal/octree"
+	"qarv/internal/quality"
+	"qarv/internal/stream"
+	"qarv/internal/synthetic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qarvdevice:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qarvdevice", flag.ContinueOnError)
+	addr := fs.String("addr", "", "edge server address (required)")
+	frames := fs.Int("frames", 300, "frames to stream")
+	interval := fs.Duration("interval", 10*time.Millisecond, "frame period")
+	samples := fs.Int("samples", 60_000, "synthetic capture surface samples")
+	knee := fs.Float64("knee", 30, "V-calibration knee (frames)")
+	seed := fs.Int64("seed", 1, "capture seed")
+	character := fs.String("character", "longdress", "synthetic character preset")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return errors.New("missing -addr (start cmd/qarvedge first)")
+	}
+
+	// Capture and per-depth encodings.
+	ch, err := synthetic.ByName(*character)
+	if err != nil {
+		return err
+	}
+	cloud, err := synthetic.Generate(synthetic.Config{
+		Character:     ch,
+		SamplesTarget: *samples,
+		CaptureDepth:  10,
+		Seed:          uint64(*seed),
+	}, synthetic.Pose{})
+	if err != nil {
+		return err
+	}
+	tree, err := octree.Build(cloud, 10)
+	if err != nil {
+		return err
+	}
+	depths := []int{5, 6, 7, 8, 9, 10}
+	payloads := make(map[int][]byte, len(depths))
+	bytesProfile, err := tree.StreamSizeProfile(true)
+	if err != nil {
+		return err
+	}
+	for _, d := range depths {
+		p, err := tree.SerializeWithColorsBytes(d)
+		if err != nil {
+			return err
+		}
+		payloads[d] = p
+	}
+	util, err := quality.NewLogPointUtility(tree.Profile())
+	if err != nil {
+		return err
+	}
+	cost, err := delay.NewPointCostModel(bytesProfile, 1, 0, 0)
+	if err != nil {
+		return err
+	}
+
+	// Controller calibrated against the nominal per-frame budget implied
+	// by the frame interval at the depth-9/10 boundary; the live backlog
+	// supplies the actual feedback.
+	perFrameBudget := float64(bytesProfile[9]) + 0.6*float64(bytesProfile[10]-bytesProfile[9])
+	cfg := core.Config{Depths: depths, Utility: util, Cost: cost}
+	v, err := core.CalibrateV(*knee, perFrameBudget, cfg)
+	if err != nil {
+		return err
+	}
+	cfg.V = v
+	ctrl, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	client, err := stream.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	fmt.Fprintf(out, "streaming %d frames to %s (V=%.4g)\n", *frames, *addr, v)
+
+	hist := make(map[int]int, len(depths))
+	for i := 0; i < *frames; i++ {
+		q := client.BacklogBytes()
+		d := ctrl.Decide(i, q)
+		hist[d]++
+		if err := client.SendFrame(stream.Frame{
+			ID:      uint32(i),
+			Depth:   uint8(d),
+			Payload: payloads[d],
+		}); err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		time.Sleep(*interval)
+	}
+	drained := client.WaitForAcks(30 * time.Second)
+	st := client.Stats()
+	fmt.Fprintf(out, "sent %d frames (%d bytes), acked %d, drained=%v\n",
+		st.SentFrames, st.SentBytes, st.AckedFrames, drained)
+	fmt.Fprintf(out, "round trip mean %v max %v\n", st.MeanLatency, st.MaxLatency)
+	fmt.Fprint(out, "depth histogram  ")
+	for _, d := range depths {
+		if hist[d] > 0 {
+			fmt.Fprintf(out, "%d:%d  ", d, hist[d])
+		}
+	}
+	fmt.Fprintln(out)
+	if !drained {
+		return errors.New("session did not drain")
+	}
+	return nil
+}

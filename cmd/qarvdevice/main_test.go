@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"qarv/internal/stream"
+)
+
+func TestDeviceSessionAgainstInProcessEdge(t *testing.T) {
+	// Unpaced server: the session must drain with all depths at max.
+	srv, err := stream.Serve("127.0.0.1:0", stream.ServerConfig{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", srv.Addr(),
+		"-frames", "40",
+		"-interval", "1ms",
+		"-samples", "8000",
+		"-knee", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "drained=true") {
+		t.Errorf("session did not drain: %s", s)
+	}
+	if !strings.Contains(s, "depth histogram") {
+		t.Errorf("missing histogram: %s", s)
+	}
+	frames, _, corrupt := srv.Stats()
+	if frames != 40 || corrupt != 0 {
+		t.Errorf("server saw %d frames, %d corrupt", frames, corrupt)
+	}
+}
+
+func TestDeviceAdaptsAgainstPacedEdge(t *testing.T) {
+	// A slow edge: the device must back off below depth 10.
+	srv, err := stream.Serve("127.0.0.1:0", stream.ServerConfig{
+		BytesPerSecond: 1.5e6, // intentionally tight for 5ms frames
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", srv.Addr(),
+		"-frames", "80",
+		"-interval", "5ms",
+		"-samples", "8000",
+		"-knee", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	// The histogram must contain at least one depth below 10.
+	line := ""
+	for _, l := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(l, "depth histogram") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no histogram: %s", out.String())
+	}
+	backedOff := false
+	for _, d := range []string{"5:", "6:", "7:", "8:", "9:"} {
+		if strings.Contains(line, d) {
+			backedOff = true
+		}
+	}
+	if !backedOff {
+		t.Errorf("device never backed off against a slow edge: %s", line)
+	}
+	_ = time.Millisecond
+}
+
+func TestDeviceErrors(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -addr must error")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "-frames", "1", "-samples", "4000"}, &bytes.Buffer{}); err == nil {
+		t.Error("dead edge must error")
+	}
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag must error")
+	}
+	if err := run([]string{"-addr", "x", "-character", "nobody"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown character must error")
+	}
+}

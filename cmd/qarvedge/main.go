@@ -1,0 +1,70 @@
+// Command qarvedge runs the edge-side receiver of a live qarv session: a
+// TCP server that accepts depth-controlled octree streams from devices,
+// paces processing at a configured throughput, validates streams, and
+// acknowledges frames. Pair it with cmd/qarvdevice.
+//
+// Usage:
+//
+//	qarvedge [-addr 127.0.0.1:7464] [-rate BYTES_PER_SEC] [-validate]
+//	         [-duration 0]
+//
+// With -duration 0 the server runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"qarv/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "qarvedge:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server; if started is non-nil it receives the bound
+// address (used by tests to reach an ephemeral port).
+func run(args []string, out io.Writer, started func(addr string)) error {
+	fs := flag.NewFlagSet("qarvedge", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7464", "listen address (use :0 for an ephemeral port)")
+	rate := fs.Float64("rate", 2e6, "processing throughput in bytes/second (0 = unpaced)")
+	validate := fs.Bool("validate", true, "decode and validate every received stream")
+	duration := fs.Duration("duration", 0, "serve for this long then exit (0 = until SIGINT)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := stream.Serve(*addr, stream.ServerConfig{
+		BytesPerSecond: *rate,
+		Validate:       *validate,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "edge listening on %s (rate %.0f B/s, validate=%v)\n",
+		srv.Addr(), *rate, *validate)
+	if started != nil {
+		started(srv.Addr())
+	}
+
+	if *duration > 0 {
+		time.Sleep(*duration)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	frames, bytes, corrupt := srv.Stats()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "served %d frames, %d bytes, %d corrupt rejected\n", frames, bytes, corrupt)
+	return nil
+}

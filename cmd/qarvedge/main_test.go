@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"qarv/internal/stream"
+)
+
+func TestEdgeServesAndReportsStats(t *testing.T) {
+	var out bytes.Buffer
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-rate", "0", "-duration", "1500ms"},
+			&out, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never started")
+	}
+	client, err := stream.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -validate is on by default: send one corrupt frame; it must be
+	// rejected, not acked.
+	if err := client.SendFrame(stream.Frame{ID: 1, Depth: 5, Payload: []byte("junk")}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	client.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "edge listening on") {
+		t.Errorf("missing startup line: %s", s)
+	}
+	if !strings.Contains(s, "1 corrupt rejected") {
+		t.Errorf("corrupt frame not reported: %s", s)
+	}
+}
+
+func TestEdgeBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}, nil); err == nil {
+		t.Error("bad flag must error")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:99999"}, &bytes.Buffer{}, nil); err == nil {
+		t.Error("unbindable address must error")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qarv/internal/ply"
+	"qarv/internal/synthetic"
+)
+
+func writeTestPLY(t *testing.T) string {
+	t.Helper()
+	cloud, err := synthetic.Generate(synthetic.Config{
+		SamplesTarget: 8000, CaptureDepth: 8, Seed: 2,
+	}, synthetic.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "body.ply")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ply.WriteCloud(f, cloud, ply.BinaryLittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInspectPrintsLadder(t *testing.T) {
+	path := writeTestPLY(t)
+	var out bytes.Buffer
+	if err := run([]string{"-depth", "8", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"points", "colors      true", "occupied voxels", "depth"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	// Ladder must reach ratio 1.00000 at the bottom row.
+	if !strings.Contains(s, "1.00000") {
+		t.Error("full-depth ratio missing")
+	}
+}
+
+func TestInspectMetricsMode(t *testing.T) {
+	path := writeTestPLY(t)
+	var out bytes.Buffer
+	if err := run([]string{"-depth", "6", "-metrics", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "geom PSNR") {
+		t.Error("metrics columns missing")
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := run([]string{"/nonexistent/file.ply"}, &bytes.Buffer{}); err == nil {
+		t.Error("unreadable file must error")
+	}
+	// Not a PLY file.
+	bad := filepath.Join(t.TempDir(), "bad.ply")
+	if err := os.WriteFile(bad, []byte("not a ply"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed file must error")
+	}
+}

@@ -1,0 +1,148 @@
+// Command qarvsim runs one AR-visualization control scenario and prints
+// its trajectory summary — the interactive companion to qarvfig for
+// exploring policies, V values, and service rates.
+//
+// Usage:
+//
+//	qarvsim [-policy proposed|max|min|random|threshold|fixed:N]
+//	        [-v V] [-knee SLOT] [-slots T] [-samples N] [-service-frac F]
+//	        [-seed S] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"qarv/internal/experiments"
+	"qarv/internal/geom"
+	"qarv/internal/policy"
+	"qarv/internal/sim"
+	"qarv/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qarvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("qarvsim", flag.ContinueOnError)
+	policyName := fs.String("policy", "proposed", "policy: proposed, max, min, random, threshold, fixed:N")
+	vOverride := fs.Float64("v", 0, "override the calibrated V (0 = use calibration)")
+	knee := fs.Float64("knee", 400, "calibrated knee slot for the proposed policy")
+	slots := fs.Int("slots", 800, "simulation horizon")
+	samples := fs.Int("samples", 400_000, "synthetic capture surface samples")
+	serviceFrac := fs.Float64("service-frac", 0.6, "service rate position in (a(d_max-1), a(d_max))")
+	seed := fs.Int64("seed", 1, "random seed")
+	chart := fs.Bool("chart", false, "render ASCII backlog/depth charts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scn, err := experiments.NewScenario(experiments.ScenarioParams{
+		Samples:         *samples,
+		Slots:           *slots,
+		Seed:            uint64(*seed),
+		ServiceFraction: *serviceFrac,
+		KneeSlot:        *knee,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+
+	p, err := buildPolicy(*policyName, *vOverride, scn, uint64(*seed))
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(scn.SimConfig(p))
+	if err != nil {
+		return err
+	}
+	verdict, err := res.Verdict()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "policy            %s\n", res.PolicyName)
+	fmt.Fprintf(out, "slots             %d\n", *slots)
+	fmt.Fprintf(out, "service rate      %.0f points/slot\n", scn.ServiceRate)
+	if strings.HasPrefix(*policyName, "proposed") {
+		v := scn.V
+		if *vOverride > 0 {
+			v = *vOverride
+		}
+		fmt.Fprintf(out, "V                 %.6g\n", v)
+	}
+	fmt.Fprintf(out, "verdict           %s\n", verdict)
+	fmt.Fprintf(out, "time-avg utility  %.4f\n", res.TimeAvgUtility)
+	fmt.Fprintf(out, "time-avg backlog  %.0f\n", res.TimeAvgBacklog)
+	fmt.Fprintf(out, "final backlog     %.0f\n", res.FinalBacklog)
+	fmt.Fprintf(out, "max backlog       %.0f\n", res.MaxBacklog)
+	fmt.Fprintf(out, "frames completed  %d (mean sojourn %.2f slots)\n",
+		len(res.Completed), res.MeanSojourn)
+	hist := res.DepthHistogram()
+	fmt.Fprint(out, "depth histogram   ")
+	for _, d := range scn.Params.Depths {
+		if n, ok := hist[d]; ok {
+			fmt.Fprintf(out, "%d:%d  ", d, n)
+		}
+	}
+	fmt.Fprintln(out)
+
+	if *chart {
+		tab := trace.NewTable("Time step", len(res.Backlog))
+		if err := tab.Add(trace.Series{Name: "backlog", Values: res.Backlog}); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := tab.RenderASCII(out, trace.ChartOptions{Title: "Queue backlog"}); err != nil {
+			return err
+		}
+		dep := trace.NewTable("Time step", len(res.Depth))
+		if err := dep.Add(trace.FromInts("depth", res.Depth)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := dep.RenderASCII(out, trace.ChartOptions{Title: "Control action (# of depth)", Height: 8}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildPolicy(name string, vOverride float64, scn *experiments.Scenario, seed uint64) (policy.Policy, error) {
+	switch {
+	case name == "proposed":
+		if vOverride > 0 {
+			return scn.ControllerWithV(vOverride)
+		}
+		return scn.Controller()
+	case name == "max":
+		return policy.NewMaxDepth(scn.Params.Depths)
+	case name == "min":
+		return policy.NewMinDepth(scn.Params.Depths)
+	case name == "random":
+		return policy.NewRandom(scn.Params.Depths, geom.NewRNG(seed))
+	case name == "threshold":
+		ctrl, err := scn.Controller()
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewThreshold(scn.Params.Depths,
+			0.5*ctrl.SwitchBacklog(), ctrl.SwitchBacklog())
+	case strings.HasPrefix(name, "fixed:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(name, "fixed:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad fixed depth %q: %w", name, err)
+		}
+		return &policy.FixedDepth{Depth: d}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

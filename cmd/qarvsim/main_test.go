@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func simArgs(extra ...string) []string {
+	base := []string{"-samples", "30000", "-slots", "400", "-knee", "150"}
+	return append(base, extra...)
+}
+
+func TestRunProposedStabilizes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(simArgs("-policy", "proposed"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "drift-plus-penalty") {
+		t.Errorf("missing policy name:\n%s", s)
+	}
+	if !strings.Contains(s, "verdict           stabilized") {
+		t.Errorf("proposed not stabilized:\n%s", s)
+	}
+	if !strings.Contains(s, "depth histogram") {
+		t.Error("missing histogram")
+	}
+}
+
+func TestRunMaxDiverges(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(simArgs("-policy", "max"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verdict           diverging") {
+		t.Errorf("max-depth not diverging:\n%s", out.String())
+	}
+}
+
+func TestRunFixedPolicy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(simArgs("-policy", "fixed:7"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fixed-depth(7)") {
+		t.Error("fixed policy not applied")
+	}
+}
+
+func TestRunChartFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(simArgs("-policy", "min", "-chart"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Queue backlog") ||
+		!strings.Contains(out.String(), "Control action") {
+		t.Error("charts missing")
+	}
+}
+
+func TestRunVOverride(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(simArgs("-policy", "proposed", "-v", "123456"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "123456") {
+		t.Error("V override not reported")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(simArgs("-policy", "alchemy"), &bytes.Buffer{}); err == nil {
+		t.Error("unknown policy must error")
+	}
+	if err := run(simArgs("-policy", "fixed:x"), &bytes.Buffer{}); err == nil {
+		t.Error("bad fixed depth must error")
+	}
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

@@ -1,0 +1,54 @@
+// Vsweep: the Lyapunov tradeoff knob made visible. The drift-plus-penalty
+// theory promises a utility gap shrinking as O(1/V) while the backlog
+// grows as O(V). This example sweeps V around the calibrated V* and prints
+// measured utility/backlog against the theoretical bounds, reproducing the
+// ABL-V ablation of DESIGN.md.
+//
+// Run: go run ./examples/vsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qarv"
+	"qarv/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scn, err := qarv.NewScenario(qarv.ScenarioParams{
+		Samples: 60_000,
+		Slots:   800,
+		Seed:    1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated V* = %.4g (knee at slot %.0f)\n\n", scn.V, scn.Params.KneeSlot)
+
+	factors := []float64{0.05, 0.2, 0.5, 1, 2, 4}
+	// Horizon scales with the largest V so every run reaches steady state.
+	rows, err := experiments.VSweep(scn, factors, 20_000)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("   V/V*     avg utility    avg backlog      verdict      bound gap O(1/V)   bound Q O(V)")
+	for i, r := range rows {
+		fmt.Printf("%7.2f  %14.4f  %13.0f  %11s  %17.3g  %13.3g\n",
+			factors[i], r.TimeAvgUtility, r.TimeAvgBacklog, r.Verdict,
+			r.BoundUtilityGap, r.BoundBacklog)
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  * utility climbs toward its ceiling as V grows (gap ~ O(1/V)),")
+	fmt.Println("  * the price is a backlog growing linearly in V (bound ~ O(V)),")
+	fmt.Println("  * every setting stays stable — V only moves along the tradeoff.")
+	return nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// AutoTuner adapts V online to hold a target time-average backlog,
+// removing the one piece of global knowledge CalibrateV needs (the
+// service rate). The paper hand-picks V offline; in deployment arrival
+// and service statistics drift, so the tuner closes the loop:
+//
+//	every AdjustEvery slots:  V ← V · exp(η · (Q_target − Q̄) / Q_target)
+//
+// where Q̄ is an exponentially weighted average of observed backlogs.
+// Multiplicative updates keep V positive and give symmetric response in
+// log-space; because steady-state backlog grows monotonically with V
+// (the O(V) law), the fixed point Q̄ = Q_target is attracting for small η.
+type AutoTuner struct {
+	ctrl        *Controller
+	target      float64
+	gain        float64
+	adjustEvery int
+
+	ewma     float64
+	haveEwma bool
+	slots    int
+}
+
+// AutoTuner validation errors.
+var (
+	ErrBadTarget = errors.New("core: target backlog must be positive")
+	ErrBadGain   = errors.New("core: gain must be in (0, 1]")
+)
+
+// NewAutoTuner wraps a freshly built controller whose V will be adapted.
+// initialV seeds the search (any positive value; an order-of-magnitude
+// guess converges in a few adjustment periods). targetBacklog is the
+// desired steady-state queue level; gain η controls adaptation speed.
+func NewAutoTuner(cfg Config, targetBacklog, gain float64, adjustEvery int) (*AutoTuner, error) {
+	if targetBacklog <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadTarget, targetBacklog)
+	}
+	if gain <= 0 || gain > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadGain, gain)
+	}
+	if adjustEvery <= 0 {
+		adjustEvery = 50
+	}
+	if cfg.V <= 0 {
+		cfg.V = 1
+	}
+	ctrl, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoTuner{
+		ctrl:        ctrl,
+		target:      targetBacklog,
+		gain:        gain,
+		adjustEvery: adjustEvery,
+	}, nil
+}
+
+// V returns the current tradeoff coefficient.
+func (a *AutoTuner) V() float64 { return a.ctrl.v }
+
+// Name identifies the policy in traces.
+func (a *AutoTuner) Name() string { return "auto-tuned drift-plus-penalty" }
+
+// Decide observes the backlog, periodically adjusts V, and returns the
+// drift-plus-penalty decision at the current V. It satisfies the
+// simulator's Policy interface.
+func (a *AutoTuner) Decide(slot int, backlog float64) int {
+	if backlog < 0 {
+		backlog = 0
+	}
+	// EWMA with a horizon matched to the adjustment period.
+	alpha := 2 / (float64(a.adjustEvery) + 1)
+	if !a.haveEwma {
+		a.ewma = backlog
+		a.haveEwma = true
+	} else {
+		a.ewma = alpha*backlog + (1-alpha)*a.ewma
+	}
+	a.slots++
+	if a.slots%a.adjustEvery == 0 {
+		errFrac := (a.target - a.ewma) / a.target
+		// Clamp the exponent so a cold start (Q̄ ≈ 0 or ≫ target) cannot
+		// explode V in one step.
+		if errFrac > 1 {
+			errFrac = 1
+		}
+		if errFrac < -1 {
+			errFrac = -1
+		}
+		a.ctrl.v *= math.Exp(a.gain * errFrac)
+	}
+	return a.ctrl.Decide(slot, backlog)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewAutoTunerValidation(t *testing.T) {
+	cfg := testConfig(0)
+	if _, err := NewAutoTuner(cfg, 0, 0.2, 50); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("zero target: %v", err)
+	}
+	if _, err := NewAutoTuner(cfg, 1e5, 0, 50); !errors.Is(err, ErrBadGain) {
+		t.Errorf("zero gain: %v", err)
+	}
+	if _, err := NewAutoTuner(cfg, 1e5, 2, 50); !errors.Is(err, ErrBadGain) {
+		t.Errorf("huge gain: %v", err)
+	}
+	bad := cfg
+	bad.Depths = nil
+	if _, err := NewAutoTuner(bad, 1e5, 0.2, 50); !errors.Is(err, ErrNoDepths) {
+		t.Errorf("bad inner config: %v", err)
+	}
+	// V defaults to 1 when unset.
+	a, err := NewAutoTuner(cfg, 1e5, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.V() != 1 {
+		t.Errorf("seed V = %v, want 1", a.V())
+	}
+}
+
+// runTuned simulates the tuner against a constant-rate queue and returns
+// the mean backlog over the final quarter of the run.
+func runTuned(t *testing.T, a *AutoTuner, service float64, slots int) float64 {
+	t.Helper()
+	var q float64
+	var tail float64
+	tailStart := slots * 3 / 4
+	n := 0
+	for slot := 0; slot < slots; slot++ {
+		d := a.Decide(slot, q)
+		q = math.Max(q+float64(testProfile[d])-service, 0)
+		if slot >= tailStart {
+			tail += q
+			n++
+		}
+	}
+	return tail / float64(n)
+}
+
+func TestAutoTunerConvergesToTarget(t *testing.T) {
+	service := 0.85 * float64(testProfile[10])
+	const target = 500_000.0
+	a, err := NewAutoTuner(testConfig(1), target, 0.3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runTuned(t, a, service, 12_000)
+	if got < target/3 || got > target*3 {
+		t.Errorf("steady backlog %v not near target %v (V ended at %v)", got, target, a.V())
+	}
+	// V must have moved far from the seed of 1 (the calibrated value is
+	// ~1e10 in this scenario).
+	if a.V() < 1e6 {
+		t.Errorf("V barely adapted: %v", a.V())
+	}
+}
+
+func TestAutoTunerTracksServiceChange(t *testing.T) {
+	// Converge under one service rate, then shrink the service; the
+	// tuner must re-converge the backlog near the target rather than let
+	// it settle at a new V-proportional level.
+	service := 0.85 * float64(testProfile[10])
+	const target = 400_000.0
+	a, err := NewAutoTuner(testConfig(1), target, 0.3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q float64
+	step := func(slots int, svc float64) float64 {
+		var tail float64
+		n := 0
+		for slot := 0; slot < slots; slot++ {
+			d := a.Decide(slot, q)
+			q = math.Max(q+float64(testProfile[d])-svc, 0)
+			if slot >= slots*3/4 {
+				tail += q
+				n++
+			}
+		}
+		return tail / float64(n)
+	}
+	phase1 := step(10_000, service)
+	phase2 := step(10_000, service*0.8) // capacity drops 20%
+	for phase, got := range map[int]float64{1: phase1, 2: phase2} {
+		if got < target/3 || got > target*3 {
+			t.Errorf("phase %d backlog %v not near target %v", phase, got, target)
+		}
+	}
+}
+
+func TestAutoTunerDecisionsStayInSet(t *testing.T) {
+	a, err := NewAutoTuner(testConfig(1), 1e5, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[int]bool{5: true, 6: true, 7: true, 8: true, 9: true, 10: true}
+	for slot := 0; slot < 500; slot++ {
+		if d := a.Decide(slot, float64(slot*1000)); !valid[d] {
+			t.Fatalf("decision %d outside set", d)
+		}
+	}
+	// Negative backlog observations are clamped, not fatal.
+	if d := a.Decide(501, -5); !valid[d] {
+		t.Fatal("negative backlog broke the tuner")
+	}
+}

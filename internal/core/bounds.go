@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Lyapunov drift-plus-penalty performance bounds (Neely's framework, which
+// the paper invokes via its references [4]–[6]). With
+//
+//	B ≥ ½·E[a(t)² + b(t)²]   (second-moment bound of arrivals/services)
+//
+// the standard theorems give, for any V > 0:
+//
+//	time-average utility  ≥  U_opt − B/V            (O(1/V) utility gap)
+//	time-average backlog  ≤  (B + V·(pa_max − pa_min)) / ε   (O(V) backlog)
+//
+// where ε > 0 is the service slack of some stationary stabilizing policy.
+// These are the quantities the ABL-V ablation sweeps.
+
+// Bounds packages the theoretical guarantees for a configuration.
+type Bounds struct {
+	// B is the drift constant ½(a_max² + b_max²).
+	B float64
+	// UtilityGap is the O(1/V) bound B/V on the distance to optimal
+	// time-average utility.
+	UtilityGap float64
+	// BacklogBound is the O(V) bound (B + V·Δpa)/ε on time-average backlog.
+	BacklogBound float64
+	// SlackEpsilon is the ε used for the backlog bound.
+	SlackEpsilon float64
+}
+
+// ErrNoSlack is returned when no candidate depth is stabilizable.
+var ErrNoSlack = errors.New("core: no depth has positive service slack; system cannot be stabilized")
+
+// TheoreticalBounds computes the drift-plus-penalty guarantees for the
+// controller against a (peak) service rate bMax per slot. The slack ε is
+// taken at the best stabilizable candidate depth: ε = bMax − min_d a(d)
+// maximized over stabilizable d.
+func (c *Controller) TheoreticalBounds(bMax float64) (Bounds, error) {
+	aMax := c.cost[len(c.cost)-1]
+	b := 0.5 * (aMax*aMax + bMax*bMax)
+	// ε: largest slack over candidates that are stabilizable.
+	eps := 0.0
+	for _, a := range c.cost {
+		if slack := bMax - a; slack > eps {
+			eps = slack
+		}
+	}
+	if eps <= 0 {
+		return Bounds{}, ErrNoSlack
+	}
+	paMax := c.utility[len(c.utility)-1]
+	paMin := c.utility[0]
+	out := Bounds{B: b, SlackEpsilon: eps}
+	if c.v > 0 {
+		out.UtilityGap = b / c.v
+	} else {
+		out.UtilityGap = math.Inf(1)
+	}
+	out.BacklogBound = (b + c.v*(paMax-paMin)) / eps
+	return out, nil
+}

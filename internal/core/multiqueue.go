@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Multi-stream extension (future-work direction of the paper's §II
+// "distributed" discussion): one device visualizes K concurrent AR
+// streams (e.g. several holograms in a shared scene) under a *shared*
+// per-slot processing budget. Each stream k keeps its own backlog Q_k;
+// the shared budget is enforced by a virtual queue Z(t) in the standard
+// Lyapunov fashion:
+//
+//	Z(t+1) = max(Z(t) + Σ_k a(d_k(t)) − Budget, 0)
+//
+// and the drift-plus-penalty decision decomposes per stream:
+//
+//	d_k*(t) = argmax_{d ∈ R} [ V·pa(d) − (Q_k(t) + Z(t))·a(d) ]
+//
+// so each stream still decides independently from local state plus the
+// single shared scalar Z — the minimal coordination that makes the
+// time-average budget constraint enforceable.
+
+// MultiQueueConfig parameterizes NewMultiQueue.
+type MultiQueueConfig struct {
+	// Streams is the number of concurrent AR streams K.
+	Streams int
+	// Budget is the shared per-slot workload budget for Σ_k a(d_k).
+	Budget float64
+	// Controller carries V, the depth set, and the pa/a models shared by
+	// all streams.
+	Controller Config
+}
+
+// Multi-queue validation errors.
+var (
+	ErrNoStreams    = errors.New("core: multi-queue needs at least one stream")
+	ErrBadBudget    = errors.New("core: shared budget must be positive")
+	ErrBudgetTooLow = errors.New("core: budget below the minimum feasible total workload")
+)
+
+// MultiQueueController jointly controls K streams under a shared budget.
+type MultiQueueController struct {
+	ctrl    *Controller
+	streams int
+	budget  float64
+	z       float64
+}
+
+// NewMultiQueue validates the configuration. The budget must admit at
+// least all streams at the cheapest depth, otherwise no policy can
+// satisfy the constraint.
+func NewMultiQueue(cfg MultiQueueConfig) (*MultiQueueController, error) {
+	if cfg.Streams <= 0 {
+		return nil, ErrNoStreams
+	}
+	if cfg.Budget <= 0 {
+		return nil, ErrBadBudget
+	}
+	ctrl, err := New(cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	minTotal := float64(cfg.Streams) * ctrl.cost[0]
+	if cfg.Budget < minTotal {
+		return nil, fmt.Errorf("%w: budget %v < %v", ErrBudgetTooLow, cfg.Budget, minTotal)
+	}
+	return &MultiQueueController{
+		ctrl:    ctrl,
+		streams: cfg.Streams,
+		budget:  cfg.Budget,
+	}, nil
+}
+
+// Streams returns K.
+func (m *MultiQueueController) Streams() int { return m.streams }
+
+// VirtualQueue returns the current shared-budget virtual backlog Z(t).
+func (m *MultiQueueController) VirtualQueue() float64 { return m.z }
+
+// Name identifies the controller in traces.
+func (m *MultiQueueController) Name() string { return "multi-queue drift-plus-penalty" }
+
+// DecideAll returns the per-stream depth decisions for the observed
+// backlogs and advances the virtual queue with the induced total
+// workload. len(backlogs) must equal Streams().
+func (m *MultiQueueController) DecideAll(backlogs []float64) ([]int, error) {
+	if len(backlogs) != m.streams {
+		return nil, fmt.Errorf("core: %d backlogs for %d streams", len(backlogs), m.streams)
+	}
+	decisions := make([]int, m.streams)
+	var total float64
+	for k, q := range backlogs {
+		if q < 0 {
+			q = 0
+		}
+		// Per-stream decomposed decision with the shared price Z.
+		d := m.ctrl.Decide(0, q+m.z)
+		decisions[k] = d
+		total += m.ctrl.cModel.FrameCost(d)
+	}
+	// Virtual-queue update (Lindley recursion on the budget constraint).
+	m.z += total - m.budget
+	if m.z < 0 {
+		m.z = 0
+	}
+	return decisions, nil
+}
+
+// TotalCost returns Σ a(d_k) for a decision vector — the budget
+// consumption of one slot.
+func (m *MultiQueueController) TotalCost(decisions []int) float64 {
+	var total float64
+	for _, d := range decisions {
+		total += m.ctrl.cModel.FrameCost(d)
+	}
+	return total
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func multiConfig(t *testing.T, streams int, budget float64) MultiQueueConfig {
+	t.Helper()
+	return MultiQueueConfig{
+		Streams:    streams,
+		Budget:     budget,
+		Controller: testConfig(1e6),
+	}
+}
+
+func TestNewMultiQueueValidation(t *testing.T) {
+	if _, err := NewMultiQueue(multiConfig(t, 0, 1e5)); !errors.Is(err, ErrNoStreams) {
+		t.Errorf("zero streams: %v", err)
+	}
+	if _, err := NewMultiQueue(multiConfig(t, 2, 0)); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("zero budget: %v", err)
+	}
+	// Budget below 2 streams at the cheapest depth (2 × a(5) = 18000).
+	if _, err := NewMultiQueue(multiConfig(t, 2, 10_000)); !errors.Is(err, ErrBudgetTooLow) {
+		t.Errorf("infeasible budget: %v", err)
+	}
+	// Invalid inner controller config propagates.
+	bad := multiConfig(t, 2, 1e6)
+	bad.Controller.Depths = nil
+	if _, err := NewMultiQueue(bad); !errors.Is(err, ErrNoDepths) {
+		t.Errorf("bad inner config: %v", err)
+	}
+}
+
+func TestDecideAllLengthCheck(t *testing.T) {
+	m, err := NewMultiQueue(multiConfig(t, 3, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecideAll([]float64{1, 2}); err == nil {
+		t.Error("wrong backlog count must error")
+	}
+}
+
+func TestSharedBudgetEnforcedByVirtualQueue(t *testing.T) {
+	// Each stream has generous *individual* service (its own queue stays
+	// near zero, so a naive controller would pin max depth), but the
+	// *shared* budget only admits about 2.5 streams at max depth. The
+	// virtual queue must price the streams down so the time-average total
+	// workload meets the budget.
+	const streams = 4
+	aMax := float64(testProfile[10])
+	budget := 2.5 * aMax // < 4·a(10)
+	m, err := NewMultiQueue(MultiQueueConfig{
+		Streams:    streams,
+		Budget:     budget,
+		Controller: testConfig(1e6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backlogs := make([]float64, streams)
+	perStreamService := aMax * 1.2 // individually generous
+	var totalSum float64
+	const slots = 4000
+	for slot := 0; slot < slots; slot++ {
+		decisions, err := m.DecideAll(backlogs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := m.TotalCost(decisions)
+		totalSum += total
+		for k, d := range decisions {
+			a := float64(testProfile[d])
+			backlogs[k] = math.Max(backlogs[k]+a-perStreamService, 0)
+		}
+	}
+	avgTotal := totalSum / slots
+	if avgTotal > budget*1.02 {
+		t.Errorf("time-average total workload %v exceeds budget %v", avgTotal, budget)
+	}
+	// The budget must actually be used (not collapsed to minimum depth):
+	// the depth quantization (4 streams × 6 depths) and the virtual
+	// queue's sawtooth leave some slack, but utilization must stay high.
+	if avgTotal < budget*0.75 {
+		t.Errorf("budget underused: %v of %v", avgTotal, budget)
+	}
+	if minTotal := 4 * float64(testProfile[5]); avgTotal < 2*minTotal {
+		t.Errorf("decisions collapsed toward min depth: %v", avgTotal)
+	}
+	// Virtual queue must be bounded, not divergent.
+	if m.VirtualQueue() > budget*100 {
+		t.Errorf("virtual queue diverged: %v", m.VirtualQueue())
+	}
+	// Individual queues remain bounded too.
+	for k, q := range backlogs {
+		if q > aMax*100 {
+			t.Errorf("stream %d backlog diverged: %v", k, q)
+		}
+	}
+}
+
+func TestMultiQueueWithoutPressureMatchesSingle(t *testing.T) {
+	// A budget that admits all streams at max depth: Z stays 0 and every
+	// stream decides exactly as a lone controller would.
+	m, err := NewMultiQueue(MultiQueueConfig{
+		Streams:    3,
+		Budget:     3.5 * float64(testProfile[10]),
+		Controller: testConfig(1e6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := mustNew(t, testConfig(1e6))
+	backlogs := []float64{0, 50_000, 500_000}
+	for slot := 0; slot < 50; slot++ {
+		decisions, err := m.DecideAll(backlogs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, q := range backlogs {
+			if want := single.Decide(slot, q); decisions[k] != want {
+				t.Fatalf("slot %d stream %d: %d != single %d (Z=%v)",
+					slot, k, decisions[k], want, m.VirtualQueue())
+			}
+		}
+		if m.VirtualQueue() != 0 {
+			t.Fatalf("virtual queue grew without budget pressure: %v", m.VirtualQueue())
+		}
+	}
+}
+
+func TestMultiQueueFairnessUnderSymmetry(t *testing.T) {
+	// Symmetric streams must receive identical decisions.
+	m, err := NewMultiQueue(multiConfig(t, 4, 2.5*float64(testProfile[10])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backlogs := []float64{1000, 1000, 1000, 1000}
+	decisions, err := m.DecideAll(backlogs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(decisions); k++ {
+		if decisions[k] != decisions[0] {
+			t.Fatalf("asymmetric decisions for symmetric streams: %v", decisions)
+		}
+	}
+}

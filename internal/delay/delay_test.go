@@ -1,0 +1,195 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qarv/internal/geom"
+)
+
+var testProfile = []int{1, 8, 60, 420, 2500, 9000, 20000, 31000, 36000}
+
+func TestPointCostModelMonotone(t *testing.T) {
+	m, err := NewPointCostModel(testProfile, 1.0, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for d := 0; d <= m.MaxDepth(); d++ {
+		c := m.FrameCost(d)
+		if c <= prev {
+			t.Errorf("cost not increasing at depth %d: %v <= %v", d, c, prev)
+		}
+		prev = c
+	}
+	// Clamping beyond range.
+	if m.FrameCost(100) != m.FrameCost(m.MaxDepth()) {
+		t.Error("overflow depth must clamp")
+	}
+	if m.FrameCost(-4) != m.FrameCost(0) {
+		t.Error("negative depth must clamp")
+	}
+}
+
+func TestPointCostModelComposition(t *testing.T) {
+	m, err := NewPointCostModel([]int{10, 100}, 2, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FrameCost(0); got != 2*10+0+50 {
+		t.Errorf("cost(0) = %v", got)
+	}
+	if got := m.FrameCost(1); got != 2*100+7+50 {
+		t.Errorf("cost(1) = %v", got)
+	}
+}
+
+func TestPointCostModelValidation(t *testing.T) {
+	if _, err := NewPointCostModel(nil, 1, 0, 0); err == nil {
+		t.Error("empty profile must error")
+	}
+	if _, err := NewPointCostModel([]int{1, 2}, 0, 0, 0); err == nil {
+		t.Error("zero perPoint must error")
+	}
+	if _, err := NewPointCostModel([]int{1, 2}, 1, -1, 0); err == nil {
+		t.Error("negative perLevel must error")
+	}
+	if _, err := NewPointCostModel([]int{5, 3}, 1, 0, 0); err == nil {
+		t.Error("non-monotone profile must error")
+	}
+	if _, err := NewPointCostModel([]int{-1, 3}, 1, 0, 0); err == nil {
+		t.Error("negative occupancy must error")
+	}
+}
+
+func TestCalibrationRecoversKnownCost(t *testing.T) {
+	// Synthesize measurements from a known 3 ns/point + 2 µs fixed law.
+	points := []float64{1000, 5000, 20000, 100000, 400000}
+	durations := make([]time.Duration, len(points))
+	for i, p := range points {
+		durations[i] = time.Duration(3*p+2000) * time.Nanosecond
+	}
+	cal, err := CalibrateFromMeasurements(points, durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.NanosPerPoint-3) > 0.01 {
+		t.Errorf("ns/point = %v, want 3", cal.NanosPerPoint)
+	}
+	if math.Abs(cal.FixedNanos-2000) > 50 {
+		t.Errorf("fixed = %v, want 2000", cal.FixedNanos)
+	}
+	if cal.R2 < 0.999 {
+		t.Errorf("R2 = %v", cal.R2)
+	}
+}
+
+func TestCalibrationErrors(t *testing.T) {
+	if _, err := CalibrateFromMeasurements([]float64{1}, []time.Duration{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := CalibrateFromMeasurements([]float64{1, 2}, []time.Duration{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := CalibrateFromMeasurements([]float64{1, 2}, []time.Duration{-1, 5}); err == nil {
+		t.Error("negative duration must error")
+	}
+	// Decreasing time with increasing points => nonsense slope.
+	if _, err := CalibrateFromMeasurements(
+		[]float64{1000, 2000}, []time.Duration{2000, 1000}); err == nil {
+		t.Error("negative slope must error")
+	}
+}
+
+func TestServiceBudget(t *testing.T) {
+	cal := Calibration{NanosPerPoint: 10, FixedNanos: 1000}
+	// 33 ms slot: (33e6 - 1000) / 10 points.
+	got := cal.ServiceBudget(33 * time.Millisecond)
+	want := (33e6 - 1000) / 10
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("budget = %v, want %v", got, want)
+	}
+	if (Calibration{}).ServiceBudget(time.Second) != 0 {
+		t.Error("zero calibration must budget 0")
+	}
+	tight := Calibration{NanosPerPoint: 1, FixedNanos: 1e9}
+	if tight.ServiceBudget(time.Millisecond) != 0 {
+		t.Error("overhead beyond slot must budget 0")
+	}
+}
+
+func TestConstantService(t *testing.T) {
+	s := &ConstantService{Rate: 123}
+	for _, slot := range []int{0, 5, 999} {
+		if s.Service(slot) != 123 {
+			t.Fatal("constant service must not vary")
+		}
+	}
+}
+
+func TestNoisyService(t *testing.T) {
+	s := &NoisyService{Mean: 100, Std: 10, RNG: geom.NewRNG(5)}
+	sum := 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := s.Service(i)
+		if v < 0 {
+			t.Fatal("service went negative")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-100) > 1 {
+		t.Errorf("noisy mean = %v", mean)
+	}
+	// Without an RNG it degrades to the mean.
+	det := &NoisyService{Mean: 55, Std: 10}
+	if det.Service(0) != 55 {
+		t.Error("nil RNG must return mean")
+	}
+}
+
+func TestModulatedService(t *testing.T) {
+	inner := &ConstantService{Rate: 100}
+	s := &ModulatedService{
+		Inner: inner,
+		Factor: func(t int) float64 {
+			if t >= 10 && t < 20 {
+				return 0.25 // degradation window
+			}
+			return 1
+		},
+	}
+	if s.Service(5) != 100 {
+		t.Errorf("pre-window = %v", s.Service(5))
+	}
+	if s.Service(15) != 25 {
+		t.Errorf("in-window = %v", s.Service(15))
+	}
+	if s.Service(25) != 100 {
+		t.Errorf("post-window = %v", s.Service(25))
+	}
+	// Negative factors clamp to zero; nil factor is identity.
+	neg := &ModulatedService{Inner: inner, Factor: func(int) float64 { return -1 }}
+	if neg.Service(0) != 0 {
+		t.Error("negative factor must clamp to 0")
+	}
+	id := &ModulatedService{Inner: inner}
+	if id.Service(0) != 100 {
+		t.Error("nil factor must be identity")
+	}
+}
+
+func TestTraceService(t *testing.T) {
+	s := &TraceService{Trace: []float64{1, 2, 3}}
+	want := []float64{1, 2, 3, 1, 2, 3, 1}
+	for i, w := range want {
+		if s.Service(i) != w {
+			t.Fatalf("slot %d = %v, want %v", i, s.Service(i), w)
+		}
+	}
+	empty := &TraceService{}
+	if empty.Service(0) != 0 {
+		t.Error("empty trace must serve 0")
+	}
+}

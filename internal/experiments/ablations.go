@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qarv/internal/core"
+	"qarv/internal/delay"
+	"qarv/internal/geom"
+	"qarv/internal/policy"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+	"qarv/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// ABL-V — the O(1/V) utility gap vs O(V) backlog tradeoff
+// ---------------------------------------------------------------------------
+
+// VSweepRow is one point of the V ablation.
+type VSweepRow struct {
+	V              float64
+	TimeAvgUtility float64
+	TimeAvgBacklog float64
+	MaxBacklog     float64
+	Verdict        string
+	// BoundUtilityGap and BoundBacklog are the theoretical guarantees at
+	// this V (for the EXPERIMENTS.md theory-vs-measured comparison).
+	BoundUtilityGap float64
+	BoundBacklog    float64
+}
+
+// VSweep reruns the Proposed controller with V scaled by each factor of
+// the calibrated V*, over an extended horizon so time averages settle.
+func VSweep(s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.01, 0.1, 0.5, 1, 2, 10}
+	}
+	if slots <= 0 {
+		// The knee (and hence time-to-steady-state) scales with V: cover
+		// the largest factor's knee with generous settling room.
+		maxFactor := 0.0
+		for _, f := range factors {
+			if f > maxFactor {
+				maxFactor = f
+			}
+		}
+		slots = 4 * s.Params.Slots
+		if scaled := int(4 * maxFactor * s.Params.KneeSlot); scaled > slots {
+			slots = scaled
+		}
+	}
+	rows := make([]VSweepRow, 0, len(factors))
+	for _, f := range factors {
+		v := s.V * f
+		ctrl, err := s.ControllerWithV(v)
+		if err != nil {
+			return nil, fmt.Errorf("V=%v: %w", v, err)
+		}
+		cfg := s.SimConfig(ctrl)
+		cfg.Slots = slots
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("V=%v: %w", v, err)
+		}
+		verdict, err := res.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		row := VSweepRow{
+			V:              v,
+			TimeAvgUtility: res.TimeAvgUtility,
+			TimeAvgBacklog: res.TimeAvgBacklog,
+			MaxBacklog:     res.MaxBacklog,
+			Verdict:        verdict.String(),
+		}
+		if b, err := ctrl.TheoreticalBounds(s.ServiceRate); err == nil {
+			row.BoundUtilityGap = b.UtilityGap
+			row.BoundBacklog = b.BacklogBound
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// ABL-RATE — robustness to service-rate misestimation / load shifts
+// ---------------------------------------------------------------------------
+
+// RateSweepRow is one point of the service-rate ablation.
+type RateSweepRow struct {
+	RateFraction   float64 // service = fraction × calibrated rate
+	TimeAvgUtility float64
+	TimeAvgBacklog float64
+	Verdict        string
+	MeanDepth      float64
+}
+
+// RateSweep reruns the Proposed controller (calibrated V unchanged)
+// against scaled service rates: the controller must keep stabilizing
+// whenever any candidate depth is stabilizable, degrading quality
+// gracefully as capacity shrinks.
+func RateSweep(s *Scenario, fractions []float64, slots int) ([]RateSweepRow, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4}
+	}
+	if slots <= 0 {
+		slots = 2 * s.Params.Slots
+	}
+	ctrl, err := s.Controller()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RateSweepRow, 0, len(fractions))
+	for _, f := range fractions {
+		cfg := s.SimConfig(ctrl)
+		cfg.Service = &delay.ConstantService{Rate: s.ServiceRate * f}
+		cfg.Slots = slots
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fraction %v: %w", f, err)
+		}
+		verdict, err := res.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		var depthSum float64
+		for _, d := range res.Depth {
+			depthSum += float64(d)
+		}
+		rows = append(rows, RateSweepRow{
+			RateFraction:   f,
+			TimeAvgUtility: res.TimeAvgUtility,
+			TimeAvgBacklog: res.TimeAvgBacklog,
+			Verdict:        verdict.String(),
+			MeanDepth:      depthSum / float64(len(res.Depth)),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// ABL-UTIL — sensitivity to the utility model pa(·)
+// ---------------------------------------------------------------------------
+
+// UtilitySweepRow is one point of the utility-model ablation.
+type UtilitySweepRow struct {
+	Model          string
+	TimeAvgBacklog float64
+	Verdict        string
+	MeanDepth      float64
+	KneeSlot       int
+}
+
+// UtilitySweep reruns the scenario under each utility model, recalibrating
+// V per model so knees are comparable. The stability conclusions must be
+// model-independent (only the knee's utility units change).
+func UtilitySweep(s *Scenario, slots int) ([]UtilitySweepRow, error) {
+	if slots <= 0 {
+		slots = s.Params.Slots
+	}
+	models := []quality.UtilityModel{}
+	if logU, err := quality.NewLogPointUtility(s.Profile); err == nil {
+		models = append(models, logU)
+	}
+	if normU, err := quality.NewNormalizedPointUtility(s.Profile); err == nil {
+		models = append(models, normU)
+	}
+	models = append(models, &quality.LinearDepthUtility{MaxDepth: s.Params.CaptureDepth})
+
+	rows := make([]UtilitySweepRow, 0, len(models))
+	for _, m := range models {
+		cfg := core.Config{Depths: s.Params.Depths, Utility: m, Cost: s.Cost}
+		v, err := core.CalibrateV(s.Params.KneeSlot, s.ServiceRate, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		cfg.V = v
+		ctrl, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		simCfg := s.SimConfig(ctrl)
+		simCfg.Utility = m
+		simCfg.Slots = slots
+		res, err := sim.Run(simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		verdict, err := res.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		var depthSum float64
+		dMax := 0
+		for _, d := range res.Depth {
+			depthSum += float64(d)
+			if d > dMax {
+				dMax = d
+			}
+		}
+		knee := -1
+		for t, d := range res.Depth {
+			if d < dMax {
+				knee = t
+				break
+			}
+		}
+		rows = append(rows, UtilitySweepRow{
+			Model:          m.Name(),
+			TimeAvgBacklog: res.TimeAvgBacklog,
+			Verdict:        verdict.String(),
+			MeanDepth:      depthSum / float64(len(res.Depth)),
+			KneeSlot:       knee,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// ABL-MD — the fully distributed claim under shared service
+// ---------------------------------------------------------------------------
+
+// MultiDeviceRow summarizes one device of the distributed run.
+type MultiDeviceRow struct {
+	Device         int
+	TimeAvgUtility float64
+	TimeAvgBacklog float64
+	Verdict        string
+}
+
+// MultiDevice runs n controllers sharing n× the single-device service
+// budget, each acting only on its own backlog (no side information, §II).
+func MultiDevice(s *Scenario, n, slots int) ([]MultiDeviceRow, error) {
+	if n <= 0 {
+		n = 4
+	}
+	if slots <= 0 {
+		slots = 2 * s.Params.Slots
+	}
+	devices := make([]sim.Device, n)
+	for i := range devices {
+		ctrl, err := s.Controller()
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = sim.Device{
+			Policy:   ctrl,
+			Cost:     s.Cost,
+			Utility:  s.Utility,
+			Arrivals: &queueing.DeterministicArrivals{PerSlot: 1},
+		}
+	}
+	res, err := sim.RunMulti(sim.MultiConfig{
+		Devices: devices,
+		Service: &delay.ConstantService{Rate: s.ServiceRate * float64(n)},
+		Slots:   slots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MultiDeviceRow, n)
+	for i, r := range res.PerDevice {
+		verdict, err := r.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = MultiDeviceRow{
+			Device:         i,
+			TimeAvgUtility: r.TimeAvgUtility,
+			TimeAvgBacklog: r.TimeAvgBacklog,
+			Verdict:        verdict.String(),
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// ABL-BASE — extended baseline comparison (beyond the paper's two)
+// ---------------------------------------------------------------------------
+
+// BaselineRow summarizes one policy in the extended comparison.
+type BaselineRow struct {
+	Policy         string
+	TimeAvgUtility float64
+	TimeAvgBacklog float64
+	MaxBacklog     float64
+	Verdict        string
+}
+
+// Baselines compares the Proposed controller against all reference
+// policies on the calibrated scenario.
+func Baselines(s *Scenario, slots int, seed uint64) ([]BaselineRow, error) {
+	if slots <= 0 {
+		slots = 2 * s.Params.Slots
+	}
+	if seed == 0 {
+		seed = 7
+	}
+	ctrl, err := s.Controller()
+	if err != nil {
+		return nil, err
+	}
+	maxP, err := policy.NewMaxDepth(s.Params.Depths)
+	if err != nil {
+		return nil, err
+	}
+	minP, err := policy.NewMinDepth(s.Params.Depths)
+	if err != nil {
+		return nil, err
+	}
+	randP, err := policy.NewRandom(s.Params.Depths, geom.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	thrP, err := policy.NewThreshold(s.Params.Depths,
+		0.5*ctrl.SwitchBacklog(), ctrl.SwitchBacklog())
+	if err != nil {
+		return nil, err
+	}
+	oracleP, err := policy.BestFixed(s.Params.Depths, s.Cost, s.ServiceRate)
+	if err != nil {
+		return nil, err
+	}
+	policies := []policy.Policy{ctrl, maxP, minP, randP, thrP, oracleP}
+	results, err := sim.Compare(s.SimConfig(nil), policies)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BaselineRow, len(results))
+	for i, r := range results {
+		verdict, err := r.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = BaselineRow{
+			Policy:         r.PolicyName,
+			TimeAvgUtility: r.TimeAvgUtility,
+			TimeAvgBacklog: r.TimeAvgBacklog,
+			MaxBacklog:     r.MaxBacklog,
+			Verdict:        verdict.String(),
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"qarv/internal/queueing"
+)
+
+// testParams keeps scenario generation fast for unit tests: a smaller
+// sample budget shrinks the frame but preserves the occupancy growth law.
+func testParams() ScenarioParams {
+	return ScenarioParams{
+		Samples: 60_000,
+		Slots:   800,
+		Seed:    1,
+	}
+}
+
+// The scenario is expensive to build (synthetic frame + octree), so tests
+// share one instance.
+var (
+	scenarioOnce sync.Once
+	sharedScn    *Scenario
+	scenarioErr  error
+)
+
+func sharedScenario(t *testing.T) *Scenario {
+	t.Helper()
+	scenarioOnce.Do(func() {
+		sharedScn, scenarioErr = NewScenario(testParams())
+	})
+	if scenarioErr != nil {
+		t.Fatal(scenarioErr)
+	}
+	return sharedScn
+}
+
+func TestNewScenarioCalibration(t *testing.T) {
+	s := sharedScenario(t)
+	if s.V <= 0 {
+		t.Fatalf("calibrated V = %v", s.V)
+	}
+	// Service rate must sit strictly between a(9) and a(10).
+	a9 := s.Cost.FrameCost(9)
+	a10 := s.Cost.FrameCost(10)
+	if s.ServiceRate <= a9 || s.ServiceRate >= a10 {
+		t.Errorf("service %v not in (a(9)=%v, a(10)=%v)", s.ServiceRate, a9, a10)
+	}
+	// The knee prediction must hold in closed form: Q*/r = kneeSlot.
+	ctrl, err := s.Controller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a10 - s.ServiceRate
+	predicted := ctrl.SwitchBacklog() / r
+	if math.Abs(predicted-s.Params.KneeSlot) > 1 {
+		t.Errorf("closed-form knee %v, want %v", predicted, s.Params.KneeSlot)
+	}
+}
+
+func TestNewScenarioRejectsBadDepths(t *testing.T) {
+	p := testParams()
+	p.Depths = []int{5, 12}
+	p.CaptureDepth = 10
+	if _, err := NewScenario(p); !errors.Is(err, ErrDepthBeyondCapture) {
+		t.Errorf("err = %v", err)
+	}
+	p = testParams()
+	p.Character = "nobody"
+	if _, err := NewScenario(p); err == nil {
+		t.Error("unknown character must fail")
+	}
+}
+
+func TestFig1Reproduction(t *testing.T) {
+	rows, err := Fig1(Fig1Config{Samples: 60_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if err := Fig1Invariants(rows); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's depths 5..7: each level multiplies rendered points
+	// surface-like (×2–6).
+	for i := 1; i < 3; i++ {
+		ratio := float64(rows[i].Points) / float64(rows[i-1].Points)
+		if ratio < 2 || ratio > 6 {
+			t.Errorf("depth %d->%d point ratio %.2f outside surface band",
+				rows[i-1].Depth, rows[i].Depth, ratio)
+		}
+	}
+	// Depth 10 renders (essentially) the full capture. The octree's cube
+	// is anchored differently from the capture lattice, so a few voxels
+	// merge; the ratio must still be ~1.
+	last := rows[len(rows)-1]
+	if last.PointRatio < 0.99 {
+		t.Errorf("depth-10 ratio = %v, want ~1", last.PointRatio)
+	}
+}
+
+func TestFig1InvariantsCatchViolations(t *testing.T) {
+	bad := []Fig1Row{
+		{Depth: 5, Points: 100, PSNR: 30, Hausdorff: 1},
+		{Depth: 6, Points: 90, PSNR: 35, Hausdorff: 0.5},
+	}
+	if err := Fig1Invariants(bad); err == nil {
+		t.Error("decreasing points must be caught")
+	}
+}
+
+func TestFig2ShapeMatchesPaper(t *testing.T) {
+	// The headline reproduction: max diverges, min converges, Proposed
+	// stabilizes with its knee at ~400 like the paper's Fig. 2.
+	s := sharedScenario(t)
+	res, err := Fig2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	// Control actions (Fig. 2(b)): Proposed pins depth 10 before the knee
+	// and mixes lower depths after; baselines pin their extremes.
+	knee := res.KneeSlot()
+	for t2 := 0; t2 < knee; t2++ {
+		if res.Proposed.Depth[t2] != 10 {
+			t.Fatalf("slot %d before knee: depth %d", t2, res.Proposed.Depth[t2])
+		}
+	}
+	sawLower := false
+	for t2 := knee; t2 < len(res.Proposed.Depth); t2++ {
+		if res.Proposed.Depth[t2] < 10 {
+			sawLower = true
+			break
+		}
+	}
+	if !sawLower {
+		t.Error("Proposed never dropped depth after knee")
+	}
+	for _, d := range res.MaxDepth.Depth {
+		if d != 10 {
+			t.Fatal("max-Depth must pin 10")
+		}
+	}
+	for _, d := range res.MinDepth.Depth {
+		if d != 5 {
+			t.Fatal("min-Depth must pin 5")
+		}
+	}
+}
+
+func TestFig2Tables(t *testing.T) {
+	s := sharedScenario(t)
+	res, err := Fig2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := res.BacklogTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bt.Series) != 3 || len(bt.X) != s.Params.Slots {
+		t.Errorf("backlog table: %d series × %d", len(bt.Series), len(bt.X))
+	}
+	ct, err := res.ControlTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.Series) != 3 {
+		t.Errorf("control table series = %d", len(ct.Series))
+	}
+	if ct.Series[1].Values[0] != 10 || ct.Series[2].Values[0] != 5 {
+		t.Error("control table baseline rows wrong")
+	}
+}
+
+func TestVSweepTradeoff(t *testing.T) {
+	// The knee slot scales with V (O(V) backlog needs O(V) time), so the
+	// horizon must cover the largest factor's knee plus settling time.
+	s := sharedScenario(t)
+	rows, err := VSweep(s, []float64{0.1, 1, 3}, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Backlog grows with V (O(V)); utility is non-decreasing in V.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TimeAvgBacklog <= rows[i-1].TimeAvgBacklog {
+			t.Errorf("backlog not increasing with V: %v", rows)
+		}
+		if rows[i].TimeAvgUtility < rows[i-1].TimeAvgUtility-1e-9 {
+			t.Errorf("utility decreased with V: %v", rows)
+		}
+	}
+	// Theoretical bounds attached and ordered.
+	if rows[0].BoundUtilityGap <= rows[2].BoundUtilityGap {
+		t.Error("utility-gap bound must shrink with V")
+	}
+	// None of the V settings may diverge (all stabilize).
+	for _, r := range rows {
+		if r.Verdict == queueing.VerdictDiverging.String() {
+			t.Errorf("V=%v diverged", r.V)
+		}
+	}
+}
+
+func TestRateSweepGracefulDegradation(t *testing.T) {
+	s := sharedScenario(t)
+	rows, err := RateSweep(s, []float64{0.7, 1.0, 1.3}, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More service ⇒ deeper average depth (more quality extracted).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanDepth <= rows[i-1].MeanDepth {
+			t.Errorf("mean depth not increasing with rate: %+v", rows)
+		}
+	}
+	// Even at 0.7× the controller must not diverge (depth 5..9 remain
+	// stabilizable: a(9) < 0.7·b would be needed... verify no divergence
+	// whenever some depth is stabilizable).
+	for _, r := range rows {
+		if s.Cost.FrameCost(s.Params.Depths[0]) < s.ServiceRate*r.RateFraction &&
+			r.Verdict == queueing.VerdictDiverging.String() {
+			t.Errorf("rate %v diverged despite stabilizable depths", r.RateFraction)
+		}
+	}
+}
+
+func TestUtilitySweepModelIndependence(t *testing.T) {
+	s := sharedScenario(t)
+	rows, err := UtilitySweep(s, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Verdict == queueing.VerdictDiverging.String() {
+			t.Errorf("model %s diverged", r.Model)
+		}
+		// Knee recalibration keeps the drop near the configured slot.
+		if r.KneeSlot < 0 || math.Abs(float64(r.KneeSlot)-s.Params.KneeSlot) > 0.2*s.Params.KneeSlot {
+			t.Errorf("model %s knee at %d, want ~%v", r.Model, r.KneeSlot, s.Params.KneeSlot)
+		}
+	}
+}
+
+func TestMultiDeviceAllStabilize(t *testing.T) {
+	s := sharedScenario(t)
+	rows, err := MultiDevice(s, 3, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Verdict == queueing.VerdictDiverging.String() {
+			t.Errorf("device %d diverged", r.Device)
+		}
+		if r.TimeAvgUtility <= 0 {
+			t.Errorf("device %d utility = %v", r.Device, r.TimeAvgUtility)
+		}
+	}
+}
+
+func TestBaselinesComparison(t *testing.T) {
+	s := sharedScenario(t)
+	rows, err := Baselines(s, 1600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	prop := byName["drift-plus-penalty"]
+	// Proposed must dominate min-depth and the static oracle in quality
+	// while staying non-diverging.
+	if prop.Verdict == queueing.VerdictDiverging.String() {
+		t.Error("proposed diverged")
+	}
+	if prop.TimeAvgUtility <= byName["only min-Depth"].TimeAvgUtility {
+		t.Error("proposed must beat min-depth quality")
+	}
+	oracleName := "fixed-depth(9)"
+	oracle, ok := byName[oracleName]
+	if !ok {
+		t.Fatalf("oracle row missing: %v", byName)
+	}
+	if prop.TimeAvgUtility < oracle.TimeAvgUtility-1e-9 {
+		t.Errorf("proposed %v below static oracle %v", prop.TimeAvgUtility, oracle.TimeAvgUtility)
+	}
+	if byName["only max-Depth"].Verdict != queueing.VerdictDiverging.String() {
+		t.Error("max-depth must diverge in this scenario")
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qarv/internal/octree"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+	"qarv/internal/sim"
+	"qarv/internal/synthetic"
+	"qarv/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// FIG1 — "AR visualization resolution depending on Octree depth"
+// ---------------------------------------------------------------------------
+
+// Fig1Row reports the fidelity of the depth-d LOD against the full capture,
+// one row per depth (the paper shows d = 5, 6, 7 visually; we quantify).
+type Fig1Row struct {
+	Depth      int
+	Points     int     // occupied voxels rendered at this depth
+	PointRatio float64 // Points / full-resolution points
+	PSNR       float64 // geometry PSNR (dB) vs the full capture
+	Hausdorff  float64 // worst-case geometric deviation (m)
+	ColorPSNR  float64 // luma PSNR (dB) vs the full capture
+}
+
+// Fig1Config parameterizes the Fig. 1 reproduction.
+type Fig1Config struct {
+	Character    string // default longdress
+	Samples      int    // default 400_000
+	CaptureDepth int    // default 10
+	Depths       []int  // default 5..10 (superset of the paper's 5..7)
+	Seed         uint64 // default 1
+}
+
+func (c Fig1Config) withDefaults() Fig1Config {
+	if c.Character == "" {
+		c.Character = "longdress"
+	}
+	if c.Samples <= 0 {
+		c.Samples = 400_000
+	}
+	if c.CaptureDepth <= 0 {
+		c.CaptureDepth = 10
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{5, 6, 7, 8, 9, 10}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig1 regenerates the Fig. 1 artifact: per-depth resolution and fidelity
+// of the octree LOD ladder over one synthetic full-body frame.
+func Fig1(cfg Fig1Config) ([]Fig1Row, error) {
+	c := cfg.withDefaults()
+	ch, err := synthetic.ByName(c.Character)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := synthetic.Generate(synthetic.Config{
+		Character:     ch,
+		SamplesTarget: c.Samples,
+		CaptureDepth:  c.CaptureDepth,
+		Seed:          c.Seed,
+	}, synthetic.Pose{})
+	if err != nil {
+		return nil, fmt.Errorf("generate frame: %w", err)
+	}
+	tree, err := octree.Build(cloud, c.CaptureDepth)
+	if err != nil {
+		return nil, fmt.Errorf("build octree: %w", err)
+	}
+	rows := make([]Fig1Row, 0, len(c.Depths))
+	for _, d := range c.Depths {
+		lod, err := tree.LOD(d, octree.LODCentroid)
+		if err != nil {
+			return nil, fmt.Errorf("LOD depth %d: %w", d, err)
+		}
+		geo, err := quality.CompareGeometry(cloud, lod)
+		if err != nil {
+			return nil, fmt.Errorf("geometry depth %d: %w", d, err)
+		}
+		ratio, err := quality.PointRatio(cloud, lod)
+		if err != nil {
+			return nil, err
+		}
+		colPSNR, err := quality.ColorPSNR(cloud, lod)
+		if err != nil {
+			return nil, fmt.Errorf("color depth %d: %w", d, err)
+		}
+		rows = append(rows, Fig1Row{
+			Depth:      d,
+			Points:     lod.Len(),
+			PointRatio: ratio,
+			PSNR:       geo.PSNR,
+			Hausdorff:  geo.Hausdorff,
+			ColorPSNR:  colPSNR,
+		})
+	}
+	return rows, nil
+}
+
+// Fig1Invariants checks the monotonicity the paper's caption asserts
+// ("bigger the number of PCs introduces better visualization quality"):
+// points, ratio, and PSNR must all increase with depth.
+func Fig1Invariants(rows []Fig1Row) error {
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		if cur.Points <= prev.Points {
+			return fmt.Errorf("points not increasing at depth %d", cur.Depth)
+		}
+		if cur.PSNR <= prev.PSNR && !math.IsInf(prev.PSNR, 1) {
+			return fmt.Errorf("PSNR not increasing at depth %d", cur.Depth)
+		}
+		if cur.Hausdorff > prev.Hausdorff {
+			return fmt.Errorf("Hausdorff increased at depth %d", cur.Depth)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// FIG2 — queue/stability dynamics and control actions
+// ---------------------------------------------------------------------------
+
+// Fig2Result bundles the three compared runs in the paper's order.
+type Fig2Result struct {
+	Scenario *Scenario
+	Proposed *sim.Result
+	MaxDepth *sim.Result
+	MinDepth *sim.Result
+}
+
+// Fig2 runs the paper's three controls over the calibrated scenario.
+func Fig2(s *Scenario) (*Fig2Result, error) {
+	trio, err := s.TrioPolicies()
+	if err != nil {
+		return nil, err
+	}
+	results, err := sim.Compare(s.SimConfig(nil), trio)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		Scenario: s,
+		Proposed: results[0],
+		MaxDepth: results[1],
+		MinDepth: results[2],
+	}, nil
+}
+
+// BacklogTable returns Fig. 2(a): queue backlog vs time for the three
+// controls.
+func (r *Fig2Result) BacklogTable() (*trace.Table, error) {
+	t := trace.NewTable("Time step", len(r.Proposed.Backlog))
+	for _, pair := range []struct {
+		name string
+		res  *sim.Result
+	}{
+		{"Proposed", r.Proposed},
+		{"only max-Depth", r.MaxDepth},
+		{"only min-Depth", r.MinDepth},
+	} {
+		if err := t.Add(trace.Series{Name: pair.name, Values: pair.res.Backlog}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ControlTable returns Fig. 2(b): the chosen depth (# of Depth) vs time.
+func (r *Fig2Result) ControlTable() (*trace.Table, error) {
+	t := trace.NewTable("Time step", len(r.Proposed.Depth))
+	for _, pair := range []struct {
+		name string
+		res  *sim.Result
+	}{
+		{"Proposed", r.Proposed},
+		{"only max-Depth", r.MaxDepth},
+		{"only min-Depth", r.MinDepth},
+	} {
+		if err := t.Add(trace.FromInts(pair.name, pair.res.Depth)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Fig2 shape-check errors (the paper-vs-measured contract of DESIGN.md §4).
+var (
+	ErrMaxNotDiverging    = errors.New("experiments: only max-Depth did not diverge")
+	ErrMinNotConverged    = errors.New("experiments: only min-Depth did not converge")
+	ErrProposedNotStable  = errors.New("experiments: Proposed did not stabilize")
+	ErrKneeOffTarget      = errors.New("experiments: Proposed knee far from calibrated slot")
+	ErrQualityNotDominant = errors.New("experiments: Proposed quality below stable baseline")
+)
+
+// CheckShape verifies the qualitative claims of Fig. 2: max diverges, min
+// converges to zero, Proposed stabilizes with a knee near the calibrated
+// slot and quality strictly above only-min-Depth.
+func (r *Fig2Result) CheckShape() error {
+	if v, err := r.MaxDepth.Verdict(); err != nil || v != queueing.VerdictDiverging {
+		return fmt.Errorf("%w (verdict %v, err %v)", ErrMaxNotDiverging, v, err)
+	}
+	if v, err := r.MinDepth.Verdict(); err != nil || v != queueing.VerdictConverged {
+		return fmt.Errorf("%w (verdict %v, err %v)", ErrMinNotConverged, v, err)
+	}
+	if v, err := r.Proposed.Verdict(); err != nil || v == queueing.VerdictDiverging {
+		return fmt.Errorf("%w (verdict %v, err %v)", ErrProposedNotStable, v, err)
+	}
+	knee := r.KneeSlot()
+	want := r.Scenario.Params.KneeSlot
+	if knee < 0 || math.Abs(float64(knee)-want) > 0.15*want {
+		return fmt.Errorf("%w: knee %d, want ~%v", ErrKneeOffTarget, knee, want)
+	}
+	if r.Proposed.TimeAvgUtility <= r.MinDepth.TimeAvgUtility {
+		return fmt.Errorf("%w: %v <= %v", ErrQualityNotDominant,
+			r.Proposed.TimeAvgUtility, r.MinDepth.TimeAvgUtility)
+	}
+	return nil
+}
+
+// KneeSlot returns the first slot where the Proposed run leaves the
+// deepest depth (−1 if it never does) — the paper's "recognized optimized
+// point" of 400 unit times.
+func (r *Fig2Result) KneeSlot() int {
+	dMax := 0
+	for _, d := range r.Proposed.Depth {
+		if d > dMax {
+			dMax = d
+		}
+	}
+	for t, d := range r.Proposed.Depth {
+		if d < dMax {
+			return t
+		}
+	}
+	return -1
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qarv/internal/core"
+	"qarv/internal/delay"
+	"qarv/internal/netem"
+	"qarv/internal/octree"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+	"qarv/internal/stats"
+	"qarv/internal/synthetic"
+)
+
+// Edge offload (extension): the paper's on-device delay model, moved onto
+// the network. Instead of rendering locally, the device ships the octree
+// stream of each frame (geometry + colors, bytes(d)) over a finite uplink
+// to an edge renderer. The controller's workload a(d) becomes the encoded
+// stream size and the "service rate" the uplink bandwidth — the same
+// drift-plus-penalty machinery stabilizes the transmit queue.
+
+// OffloadParams controls the offload scenario.
+type OffloadParams struct {
+	// Capture parameters (defaults as in ScenarioParams).
+	Character    string
+	Samples      int
+	CaptureDepth int
+	Depths       []int
+	Seed         uint64
+	// BandwidthFraction places the uplink bandwidth between
+	// bytes(d_max−1) and bytes(d_max), default 0.6 (deepest unstable).
+	BandwidthFraction float64
+	// LatencySlots, JitterSlots, LossProb shape the link (defaults 2,
+	// 0.3, 0.01).
+	LatencySlots float64
+	JitterSlots  float64
+	LossProb     float64
+	// KneeSlot and Slots as in ScenarioParams (defaults 400, 800).
+	KneeSlot float64
+	Slots    int
+	// BandwidthDrop, when set, scales the bandwidth by DropFactor during
+	// [DropStart, DropEnd) — the handover/congestion failure injection.
+	DropStart, DropEnd int
+	DropFactor         float64
+}
+
+func (p OffloadParams) withDefaults() OffloadParams {
+	if p.Character == "" {
+		p.Character = "longdress"
+	}
+	if p.Samples <= 0 {
+		p.Samples = 400_000
+	}
+	if p.CaptureDepth <= 0 {
+		p.CaptureDepth = 10
+	}
+	if len(p.Depths) == 0 {
+		p.Depths = []int{5, 6, 7, 8, 9, 10}
+	}
+	if p.BandwidthFraction <= 0 || p.BandwidthFraction >= 1 {
+		p.BandwidthFraction = 0.6
+	}
+	if p.LatencySlots == 0 {
+		p.LatencySlots = 2
+	}
+	if p.JitterSlots == 0 {
+		p.JitterSlots = 0.3
+	}
+	if p.LossProb == 0 {
+		p.LossProb = 0.01
+	}
+	if p.KneeSlot <= 0 {
+		p.KneeSlot = 400
+	}
+	if p.Slots <= 0 {
+		p.Slots = 800
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// OffloadResult is the trajectory and delivery statistics of one offload
+// run.
+type OffloadResult struct {
+	Params    OffloadParams
+	Bandwidth float64 // bytes/slot
+	V         float64
+	Bytes     []int // stream bytes per depth (the cost profile)
+
+	BacklogBytes []float64 // uplink queue in bytes, per slot
+	Depth        []int     // chosen depth per slot
+	Latency      []float64 // end-to-end delivery latency per delivered frame
+
+	MeanLatency float64
+	P95Latency  float64
+	LossCount   int
+	MeanDepth   float64
+	Verdict     queueing.Verdict
+}
+
+// ErrNoDeliveries is returned when every frame was lost (degenerate link).
+var ErrNoDeliveries = errors.New("experiments: no frames delivered")
+
+// Offload builds the capture, measures its per-depth stream sizes, sizes
+// the uplink, calibrates V against the byte workload, and runs the
+// control loop against the emulated link.
+func Offload(params OffloadParams) (*OffloadResult, error) {
+	p := params.withDefaults()
+	ch, err := synthetic.ByName(p.Character)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := synthetic.Generate(synthetic.Config{
+		Character:     ch,
+		SamplesTarget: p.Samples,
+		CaptureDepth:  p.CaptureDepth,
+		Seed:          p.Seed,
+	}, synthetic.Pose{})
+	if err != nil {
+		return nil, fmt.Errorf("generate frame: %w", err)
+	}
+	tree, err := octree.Build(cloud, p.CaptureDepth)
+	if err != nil {
+		return nil, fmt.Errorf("build octree: %w", err)
+	}
+	bytesProfile, err := tree.StreamSizeProfile(true)
+	if err != nil {
+		return nil, fmt.Errorf("stream sizes: %w", err)
+	}
+	occupancy := tree.Profile()
+
+	// Quality still comes from rendered points; cost is now bytes.
+	util, err := quality.NewLogPointUtility(occupancy)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := delay.NewPointCostModel(bytesProfile, 1, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bytes cost model: %w", err)
+	}
+
+	dMax, second := deepestTwo(p.Depths)
+	bMax := cost.FrameCost(dMax)
+	bSecond := cost.FrameCost(second)
+	bandwidth := bSecond + p.BandwidthFraction*(bMax-bSecond)
+
+	cfg := core.Config{Depths: p.Depths, Utility: util, Cost: cost}
+	v, err := core.CalibrateV(p.KneeSlot, bandwidth, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate V: %w", err)
+	}
+	cfg.V = v
+	ctrl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	link, err := netem.NewLink(netem.LinkConfig{
+		BytesPerSlot: bandwidth,
+		LatencySlots: p.LatencySlots,
+		JitterSlots:  p.JitterSlots,
+		LossProb:     p.LossProb,
+		Seed:         p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &OffloadResult{
+		Params:       p,
+		Bandwidth:    bandwidth,
+		V:            v,
+		Bytes:        bytesProfile,
+		BacklogBytes: make([]float64, p.Slots),
+		Depth:        make([]int, p.Slots),
+	}
+	var depthSum float64
+	for t := 0; t < p.Slots; t++ {
+		if p.DropFactor > 0 && t == p.DropStart {
+			if err := link.SetBandwidth(bandwidth * p.DropFactor); err != nil {
+				return nil, err
+			}
+		}
+		if p.DropFactor > 0 && t == p.DropEnd {
+			if err := link.SetBandwidth(bandwidth); err != nil {
+				return nil, err
+			}
+		}
+		// The controller observes the uplink backlog in bytes (the fluid
+		// queue the busy period implies).
+		q := link.QueueDelay(t) * link.Bandwidth()
+		res.BacklogBytes[t] = q
+		d := ctrl.Decide(t, q)
+		res.Depth[t] = d
+		depthSum += float64(d)
+		tx := link.Transmit(cost.FrameCost(d), t)
+		if tx.Dropped {
+			res.LossCount++
+			continue
+		}
+		res.Latency = append(res.Latency, tx.DeliveredSlot-float64(t))
+	}
+	res.MeanDepth = depthSum / float64(p.Slots)
+	if len(res.Latency) == 0 {
+		return nil, ErrNoDeliveries
+	}
+	var lat stats.Running
+	for _, l := range res.Latency {
+		lat.Add(l)
+	}
+	res.MeanLatency = lat.Mean()
+	p95, err := stats.Percentile(res.Latency, 95)
+	if err != nil {
+		return nil, err
+	}
+	res.P95Latency = p95
+	verdict, err := queueing.ClassifyTrajectory(res.BacklogBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Verdict = verdict
+	return res, nil
+}
+
+// deepestTwo returns the deepest and second-deepest entries of depths.
+func deepestTwo(depths []int) (dMax, second int) {
+	dMax = math.MinInt32
+	for _, d := range depths {
+		if d > dMax {
+			dMax = d
+		}
+	}
+	second = math.MinInt32
+	for _, d := range depths {
+		if d < dMax && d > second {
+			second = d
+		}
+	}
+	if second == math.MinInt32 {
+		second = dMax
+	}
+	return dMax, second
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+
+	"qarv/internal/queueing"
+)
+
+func offloadParams() OffloadParams {
+	return OffloadParams{
+		Samples:  40_000,
+		Slots:    800,
+		KneeSlot: 200,
+		Seed:     3,
+	}
+}
+
+func TestOffloadStabilizesUplink(t *testing.T) {
+	res, err := Offload(offloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == queueing.VerdictDiverging {
+		t.Errorf("uplink queue diverged (verdict %v)", res.Verdict)
+	}
+	// The knee behaviour carries over to the bytes domain: depth 10
+	// before the knee, lower after.
+	if res.Depth[0] != 10 {
+		t.Errorf("initial depth = %d, want 10", res.Depth[0])
+	}
+	sawLower := false
+	for _, d := range res.Depth[200:] {
+		if d < 10 {
+			sawLower = true
+			break
+		}
+	}
+	if !sawLower {
+		t.Error("controller never backed off in the bytes domain")
+	}
+	// Delivery stats are populated and sane.
+	if res.MeanLatency <= res.Params.LatencySlots {
+		t.Errorf("mean latency %v below propagation floor %v",
+			res.MeanLatency, res.Params.LatencySlots)
+	}
+	if res.P95Latency < res.MeanLatency {
+		t.Errorf("p95 %v below mean %v", res.P95Latency, res.MeanLatency)
+	}
+	if len(res.Latency)+res.LossCount != res.Params.Slots {
+		t.Errorf("delivered %d + lost %d != %d frames",
+			len(res.Latency), res.LossCount, res.Params.Slots)
+	}
+	// ~1% loss configured: losses must occur but stay small.
+	if res.LossCount == 0 || res.LossCount > res.Params.Slots/20 {
+		t.Errorf("loss count = %d for p=0.01 over %d frames", res.LossCount, res.Params.Slots)
+	}
+}
+
+func TestOffloadBytesProfileDrivesCost(t *testing.T) {
+	res, err := Offload(offloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bytes profile must be strictly increasing over the candidate
+	// depths and the bandwidth sit between the top two.
+	for d := 6; d <= 10; d++ {
+		if res.Bytes[d] <= res.Bytes[d-1] {
+			t.Errorf("bytes profile not increasing at %d: %v", d, res.Bytes[d])
+		}
+	}
+	if res.Bandwidth <= float64(res.Bytes[9]) || res.Bandwidth >= float64(res.Bytes[10]) {
+		t.Errorf("bandwidth %v not in (bytes(9)=%d, bytes(10)=%d)",
+			res.Bandwidth, res.Bytes[9], res.Bytes[10])
+	}
+}
+
+func TestOffloadBandwidthDropRecovery(t *testing.T) {
+	p := offloadParams()
+	p.Slots = 1600
+	p.DropStart = 600
+	p.DropEnd = 1000
+	p.DropFactor = 0.5
+	res, err := Offload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == queueing.VerdictDiverging {
+		t.Error("controller diverged under bandwidth drop")
+	}
+	// Depth must shed inside the drop window relative to steady state.
+	meanIn := meanDepthRange(res.Depth, 700, 1000)
+	meanOut := meanDepthRange(res.Depth, 300, 600)
+	if meanIn >= meanOut {
+		t.Errorf("depth in drop window %.2f not below normal %.2f", meanIn, meanOut)
+	}
+}
+
+func meanDepthRange(depths []int, lo, hi int) float64 {
+	var s float64
+	for _, d := range depths[lo:hi] {
+		s += float64(d)
+	}
+	return s / float64(hi-lo)
+}
+
+func TestOffloadDegenerateLink(t *testing.T) {
+	p := offloadParams()
+	p.LossProb = 0.999 // not quite 1 (validation), loses essentially all
+	if _, err := Offload(p); err == nil {
+		// Statistically ~0.1% delivered; accept either outcome but a
+		// totally dead link must not panic.
+		t.Log("some frames survived the 99.9% loss link")
+	}
+}
+
+func TestOffloadBadCharacter(t *testing.T) {
+	p := offloadParams()
+	p.Character = "nobody"
+	if _, err := Offload(p); err == nil {
+		t.Error("unknown character must error")
+	}
+}

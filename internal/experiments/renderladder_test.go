@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"qarv/internal/core"
+	"qarv/internal/sim"
+)
+
+func TestRenderLadderMonotoneViewQuality(t *testing.T) {
+	rows, util, err := RenderLadder(RenderLadderConfig{
+		Samples: 40_000, CaptureDepth: 9, Depths: []int{4, 5, 6, 7, 8, 9},
+		Width: 160, Height: 160, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ViewPSNR <= rows[i-1].ViewPSNR {
+			t.Errorf("view PSNR not increasing at depth %d: %+v", rows[i].Depth, rows)
+		}
+		if rows[i].Points <= rows[i-1].Points {
+			t.Errorf("points not increasing at depth %d", rows[i].Depth)
+		}
+	}
+	// Coverage grows (or holds) as splats densify, and the subject
+	// occupies a sane image fraction.
+	last := rows[len(rows)-1]
+	if last.Coverage < 0.05 || last.Coverage > 0.95 {
+		t.Errorf("full-depth coverage = %v", last.Coverage)
+	}
+	// The returned utility model must be usable by the controller over
+	// the ladder's depths.
+	if util == nil {
+		t.Fatal("no utility model returned")
+	}
+	for d := 5; d <= 9; d++ {
+		if util.Utility(d) <= util.Utility(d-1) {
+			t.Errorf("view utility not increasing at depth %d", d)
+		}
+	}
+}
+
+func TestRenderLadderUtilityDrivesController(t *testing.T) {
+	// End-to-end: the measured view-PSNR utility plugs into the same
+	// drift-plus-penalty controller and stabilizes the Fig. 2 scenario.
+	s := sharedScenario(t)
+	_, util, err := RenderLadder(RenderLadderConfig{
+		Samples: 40_000, CaptureDepth: 10, Depths: s.Params.Depths,
+		Width: 120, Height: 120, Seed: s.Params.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Depths: s.Params.Depths, Utility: util, Cost: s.Cost}
+	v, err := core.CalibrateV(s.Params.KneeSlot, s.ServiceRate, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.V = v
+	ctrl, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := s.SimConfig(ctrl)
+	simCfg.Utility = util
+	res, err := sim.Run(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, err := res.Verdict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.String() == "diverging" {
+		t.Error("view-utility controller diverged")
+	}
+}
+
+func TestRenderLadderBadCharacter(t *testing.T) {
+	if _, _, err := RenderLadder(RenderLadderConfig{Character: "nobody"}); err == nil {
+		t.Error("unknown character must error")
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Fig. 1, Fig. 2(a), Fig. 2(b)) plus the ablations listed in DESIGN.md's
+// per-experiment index. Each experiment is a pure function from a calibrated
+// Scenario to result rows/series, consumed by cmd/qarvfig, bench_test.go,
+// and EXPERIMENTS.md.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"qarv/internal/core"
+	"qarv/internal/delay"
+	"qarv/internal/octree"
+	"qarv/internal/policy"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+	"qarv/internal/sim"
+	"qarv/internal/synthetic"
+)
+
+// ScenarioParams controls the calibrated Fig. 2 setup. Zero values take
+// the published-experiment defaults.
+type ScenarioParams struct {
+	// Character selects the synthetic 8i-like subject (default longdress).
+	Character string
+	// Samples is the surface-sample budget of the capture (default
+	// 400_000, roughly matching the 8i captures' point scale after
+	// voxelization).
+	Samples int
+	// CaptureDepth is the capture lattice depth (default 10 = 1024³).
+	CaptureDepth int
+	// Depths is the candidate set R (default 5..10, the Fig. 2(b) y-range).
+	Depths []int
+	// ServiceFraction places the service rate b between a(d_max−1) and
+	// a(d_max): b = a(d_max−1) + f·(a(d_max)−a(d_max−1)), f ∈ (0,1).
+	// Default 0.6, making the deepest depth unstable and all others
+	// stable — the paper's regime.
+	ServiceFraction float64
+	// KneeSlot is where the proposed scheme's backlog knee should land
+	// (default 400, the paper's "recognized optimized point").
+	KneeSlot float64
+	// Slots is the horizon T (default 800 as in Fig. 2).
+	Slots int
+	// Seed fixes the synthetic frame (default 1).
+	Seed uint64
+}
+
+func (p ScenarioParams) withDefaults() ScenarioParams {
+	if p.Character == "" {
+		p.Character = "longdress"
+	}
+	if p.Samples <= 0 {
+		p.Samples = 400_000
+	}
+	if p.CaptureDepth <= 0 {
+		p.CaptureDepth = 10
+	}
+	if len(p.Depths) == 0 {
+		p.Depths = []int{5, 6, 7, 8, 9, 10}
+	}
+	if p.ServiceFraction <= 0 || p.ServiceFraction >= 1 {
+		p.ServiceFraction = 0.6
+	}
+	if p.KneeSlot <= 0 {
+		p.KneeSlot = 400
+	}
+	if p.Slots <= 0 {
+		p.Slots = 800
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Scenario is the fully calibrated experimental setup shared by Fig. 2 and
+// the ablations: a real synthetic frame's octree profile, the utility and
+// cost models over it, the service rate, and the V that puts the knee at
+// the configured slot.
+type Scenario struct {
+	Params      ScenarioParams
+	Profile     []int // occupancy per depth 0..CaptureDepth
+	Utility     quality.UtilityModel
+	Cost        *delay.PointCostModel
+	ServiceRate float64
+	V           float64
+}
+
+// Scenario construction errors.
+var ErrDepthBeyondCapture = errors.New("experiments: candidate depth exceeds capture depth")
+
+// NewScenario generates the synthetic frame, builds its octree profile,
+// and calibrates V so the proposed scheme's knee lands at Params.KneeSlot.
+func NewScenario(params ScenarioParams) (*Scenario, error) {
+	p := params.withDefaults()
+	ch, err := synthetic.ByName(p.Character)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := synthetic.Generate(synthetic.Config{
+		Character:     ch,
+		SamplesTarget: p.Samples,
+		CaptureDepth:  p.CaptureDepth,
+		Seed:          p.Seed,
+	}, synthetic.Pose{})
+	if err != nil {
+		return nil, fmt.Errorf("generate frame: %w", err)
+	}
+	tree, err := octree.Build(cloud, p.CaptureDepth)
+	if err != nil {
+		return nil, fmt.Errorf("build octree: %w", err)
+	}
+	profile := tree.Profile()
+	for _, d := range p.Depths {
+		if d > p.CaptureDepth {
+			return nil, fmt.Errorf("%w: %d > %d", ErrDepthBeyondCapture, d, p.CaptureDepth)
+		}
+	}
+	util, err := quality.NewLogPointUtility(profile)
+	if err != nil {
+		return nil, fmt.Errorf("utility model: %w", err)
+	}
+	cost, err := delay.NewPointCostModel(profile, 1, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cost model: %w", err)
+	}
+	dMax := p.Depths[0]
+	for _, d := range p.Depths {
+		if d > dMax {
+			dMax = d
+		}
+	}
+	// Find the second-deepest candidate.
+	second := p.Depths[0]
+	for _, d := range p.Depths {
+		if d < dMax && d > second {
+			second = d
+		}
+	}
+	aMax := cost.FrameCost(dMax)
+	aSecond := cost.FrameCost(second)
+	service := aSecond + p.ServiceFraction*(aMax-aSecond)
+
+	cfg := core.Config{Depths: p.Depths, Utility: util, Cost: cost}
+	v, err := core.CalibrateV(p.KneeSlot, service, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate V: %w", err)
+	}
+	return &Scenario{
+		Params:      p,
+		Profile:     profile,
+		Utility:     util,
+		Cost:        cost,
+		ServiceRate: service,
+		V:           v,
+	}, nil
+}
+
+// Controller builds the proposed drift-plus-penalty policy with the
+// scenario's calibrated V.
+func (s *Scenario) Controller() (*core.Controller, error) {
+	return s.ControllerWithV(s.V)
+}
+
+// ControllerWithV builds the proposed policy at an explicit V (used by the
+// V-sweep ablation).
+func (s *Scenario) ControllerWithV(v float64) (*core.Controller, error) {
+	return core.New(core.Config{
+		V:       v,
+		Depths:  s.Params.Depths,
+		Utility: s.Utility,
+		Cost:    s.Cost,
+	})
+}
+
+// SimConfig assembles the scenario's simulation configuration for a policy.
+func (s *Scenario) SimConfig(p policy.Policy) sim.Config {
+	return sim.Config{
+		Policy:   p,
+		Arrivals: &queueing.DeterministicArrivals{PerSlot: 1},
+		Cost:     s.Cost,
+		Utility:  s.Utility,
+		Service:  &delay.ConstantService{Rate: s.ServiceRate},
+		Slots:    s.Params.Slots,
+	}
+}
+
+// TrioPolicies returns the paper's three compared controls in figure
+// order: Proposed, only max-Depth, only min-Depth.
+func (s *Scenario) TrioPolicies() ([]policy.Policy, error) {
+	ctrl, err := s.Controller()
+	if err != nil {
+		return nil, err
+	}
+	maxP, err := policy.NewMaxDepth(s.Params.Depths)
+	if err != nil {
+		return nil, err
+	}
+	minP, err := policy.NewMinDepth(s.Params.Depths)
+	if err != nil {
+		return nil, err
+	}
+	return []policy.Policy{ctrl, maxP, minP}, nil
+}

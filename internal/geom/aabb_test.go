@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAABBEmpty(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	if e.Contains(V(0, 0, 0)) {
+		t.Error("empty box contains origin")
+	}
+	if e.Volume() != 0 {
+		t.Errorf("empty volume = %v", e.Volume())
+	}
+	// Extending an empty box by a point yields a degenerate box at the point.
+	b := e.Extend(V(1, 2, 3))
+	if b.Min != V(1, 2, 3) || b.Max != V(1, 2, 3) {
+		t.Errorf("extend empty = %v", b)
+	}
+}
+
+func TestAABBContainsHalfOpen(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	if !b.Contains(V(0, 0, 0)) {
+		t.Error("min corner must be inside (closed below)")
+	}
+	if b.Contains(V(1, 1, 1)) {
+		t.Error("max corner must be outside (open above)")
+	}
+	if !b.ContainsClosed(V(1, 1, 1)) {
+		t.Error("max corner must be inside for closed query")
+	}
+	if b.Contains(V(0.5, 0.5, 1)) {
+		t.Error("face at max must be outside")
+	}
+}
+
+func TestAABBUnionIntersect(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(2, 2, 2))
+	b := NewAABB(V(1, 1, 1), V(3, 3, 3))
+	u := a.Union(b)
+	if u.Min != V(0, 0, 0) || u.Max != V(3, 3, 3) {
+		t.Errorf("union = %v", u)
+	}
+	i := a.Intersect(b)
+	if i.Min != V(1, 1, 1) || i.Max != V(2, 2, 2) {
+		t.Errorf("intersect = %v", i)
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b must intersect")
+	}
+	far := NewAABB(V(10, 10, 10), V(11, 11, 11))
+	if a.Intersects(far) {
+		t.Error("disjoint boxes must not intersect")
+	}
+}
+
+func TestAABBCubified(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 4, 1))
+	c := b.Cubified()
+	s := c.Size()
+	if s.X != 4 || s.Y != 4 || s.Z != 4 {
+		t.Fatalf("cubified size = %v, want (4,4,4)", s)
+	}
+	if c.Center() != b.Center() {
+		t.Errorf("cubified center moved: %v vs %v", c.Center(), b.Center())
+	}
+	// The cube must contain the original box.
+	if !c.ContainsClosed(b.Min) || !c.ContainsClosed(b.Max) {
+		t.Error("cubified box does not contain original corners")
+	}
+}
+
+func TestAABBOctantsPartitionParent(t *testing.T) {
+	parent := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	var totalVolume float64
+	for i := 0; i < 8; i++ {
+		child := parent.Octant(i)
+		totalVolume += child.Volume()
+		if child.Volume() != 1 {
+			t.Errorf("octant %d volume = %v, want 1", i, child.Volume())
+		}
+	}
+	if totalVolume != parent.Volume() {
+		t.Errorf("octant volumes sum %v != parent %v", totalVolume, parent.Volume())
+	}
+}
+
+func TestAABBOctantIndexRoundTrip(t *testing.T) {
+	// Property: every point in the parent is contained in exactly the octant
+	// that OctantIndex names, and in no other.
+	parent := NewAABB(V(0, 0, 0), V(8, 8, 8))
+	rng := NewRNG(7)
+	for n := 0; n < 500; n++ {
+		p := V(rng.Range(0, 8), rng.Range(0, 8), rng.Range(0, 8))
+		idx := parent.OctantIndex(p)
+		count := 0
+		for i := 0; i < 8; i++ {
+			if parent.Octant(i).Contains(p) {
+				count++
+				if i != idx {
+					t.Fatalf("point %v in octant %d but OctantIndex says %d", p, i, idx)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("point %v contained in %d octants, want exactly 1", p, count)
+		}
+	}
+}
+
+func TestAABBExpanded(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1)).Expanded(0.5)
+	if b.Min != V(-0.5, -0.5, -0.5) || b.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("expanded = %v", b)
+	}
+}
+
+func TestAABBUnionCommutativeProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) bool {
+		a := NewAABB(V(clampUnit(ax), clampUnit(ay), clampUnit(az)),
+			V(clampUnit(bx), clampUnit(by), clampUnit(bz)))
+		b := NewAABB(V(clampUnit(cx), clampUnit(cy), clampUnit(cz)),
+			V(clampUnit(dx), clampUnit(dy), clampUnit(dz)))
+		return a.Union(b) == b.Union(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

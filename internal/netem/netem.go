@@ -1,0 +1,184 @@
+// Package netem emulates the network path of an edge-offloaded AR
+// pipeline: a FIFO uplink with finite bandwidth, propagation latency,
+// jitter, and random loss, plus a token-bucket policer. The offload
+// experiments use it to turn the octree stream-size profile bytes(d) into
+// per-frame delivery delays, extending the paper's on-device delay model
+// to the network-bound regime its introduction motivates ("network-based
+// applications").
+package netem
+
+import (
+	"errors"
+	"fmt"
+
+	"qarv/internal/geom"
+)
+
+// LinkConfig parameterizes a Link.
+type LinkConfig struct {
+	// BytesPerSlot is the serialization bandwidth per time slot.
+	BytesPerSlot float64
+	// LatencySlots is the fixed propagation delay added to every
+	// delivery.
+	LatencySlots float64
+	// JitterSlots is the stddev of truncated-Gaussian extra delay.
+	JitterSlots float64
+	// LossProb drops a transmission with this probability in [0,1).
+	LossProb float64
+	// Seed drives jitter and loss; same seed ⇒ same trace.
+	Seed uint64
+}
+
+// Link construction errors.
+var (
+	ErrBadBandwidth = errors.New("netem: bandwidth must be positive")
+	ErrBadLoss      = errors.New("netem: loss probability must be in [0,1)")
+	ErrBadLatency   = errors.New("netem: latency and jitter must be non-negative")
+)
+
+// Link is a FIFO store-and-forward uplink. Transmissions serialize: a
+// frame's bytes start transmitting when the link frees, so queueing delay
+// emerges naturally from the busy period.
+type Link struct {
+	cfg       LinkConfig
+	rng       *geom.RNG
+	busyUntil float64
+	sent      int
+	dropped   int
+	bytesSent float64
+}
+
+// NewLink validates cfg and returns a link.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if cfg.BytesPerSlot <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadBandwidth, cfg.BytesPerSlot)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadLoss, cfg.LossProb)
+	}
+	if cfg.LatencySlots < 0 || cfg.JitterSlots < 0 {
+		return nil, fmt.Errorf("%w: latency=%v jitter=%v", ErrBadLatency, cfg.LatencySlots, cfg.JitterSlots)
+	}
+	return &Link{cfg: cfg, rng: geom.NewRNG(cfg.Seed ^ 0x6e65746d)}, nil
+}
+
+// Transmission is the outcome of one Transmit call.
+type Transmission struct {
+	// Dropped is true when the link lost the frame (no delivery).
+	Dropped bool
+	// StartSlot is when transmission began (after queueing).
+	StartSlot float64
+	// DeliveredSlot is when the last byte arrived (transmission +
+	// propagation + jitter). Meaningless if Dropped.
+	DeliveredSlot float64
+	// QueueingDelay is the time spent waiting for the link.
+	QueueingDelay float64
+}
+
+// Transmit enqueues a frame of the given size at slot now and returns its
+// delivery outcome. Bytes ≤ 0 deliver immediately after latency.
+func (l *Link) Transmit(bytes float64, now int) Transmission {
+	if bytes < 0 {
+		bytes = 0
+	}
+	start := float64(now)
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txTime := bytes / l.cfg.BytesPerSlot
+	l.busyUntil = start + txTime
+	out := Transmission{
+		StartSlot:     start,
+		QueueingDelay: start - float64(now),
+	}
+	if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		out.Dropped = true
+		l.dropped++
+		return out
+	}
+	jitter := 0.0
+	if l.cfg.JitterSlots > 0 {
+		jitter = l.rng.NormMeanStd(0, l.cfg.JitterSlots)
+		if jitter < 0 {
+			jitter = 0
+		}
+	}
+	out.DeliveredSlot = l.busyUntil + l.cfg.LatencySlots + jitter
+	l.sent++
+	l.bytesSent += bytes
+	return out
+}
+
+// QueueDelay returns how long a frame arriving at slot now would wait
+// before its first byte is sent.
+func (l *Link) QueueDelay(now int) float64 {
+	d := l.busyUntil - float64(now)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// SetBandwidth changes the link's serialization rate from now on — the
+// failure-injection hook for mid-session bandwidth drops (handover,
+// congestion). In-flight transmissions keep their original schedule.
+func (l *Link) SetBandwidth(bytesPerSlot float64) error {
+	if bytesPerSlot <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadBandwidth, bytesPerSlot)
+	}
+	l.cfg.BytesPerSlot = bytesPerSlot
+	return nil
+}
+
+// Bandwidth returns the current serialization rate.
+func (l *Link) Bandwidth() float64 { return l.cfg.BytesPerSlot }
+
+// Stats summarizes the link's history.
+type Stats struct {
+	Sent      int
+	Dropped   int
+	BytesSent float64
+}
+
+// Stats returns cumulative counters.
+func (l *Link) Stats() Stats {
+	return Stats{Sent: l.sent, Dropped: l.dropped, BytesSent: l.bytesSent}
+}
+
+// TokenBucket polices admission at a sustained rate with a burst
+// allowance — the shaper a production uplink would apply before the
+// radio.
+type TokenBucket struct {
+	rate   float64 // tokens (bytes) added per slot
+	burst  float64 // bucket capacity
+	tokens float64
+	last   int
+}
+
+// NewTokenBucket returns a bucket starting full.
+func NewTokenBucket(ratePerSlot, burst float64) (*TokenBucket, error) {
+	if ratePerSlot <= 0 || burst <= 0 {
+		return nil, errors.New("netem: token bucket rate and burst must be positive")
+	}
+	return &TokenBucket{rate: ratePerSlot, burst: burst, tokens: burst}, nil
+}
+
+// Admit reports whether a frame of the given size may pass at slot now,
+// consuming tokens when admitted.
+func (tb *TokenBucket) Admit(bytes float64, now int) bool {
+	if now > tb.last {
+		tb.tokens += float64(now-tb.last) * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+	if bytes <= tb.tokens {
+		tb.tokens -= bytes
+		return true
+	}
+	return false
+}
+
+// Tokens returns the current token balance (for tests/telemetry).
+func (tb *TokenBucket) Tokens() float64 { return tb.tokens }

@@ -1,0 +1,168 @@
+package netem
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustLink(t *testing.T, cfg LinkConfig) *Link {
+	t.Helper()
+	l, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := NewLink(LinkConfig{BytesPerSlot: 0}); !errors.Is(err, ErrBadBandwidth) {
+		t.Errorf("zero bandwidth: %v", err)
+	}
+	if _, err := NewLink(LinkConfig{BytesPerSlot: 1, LossProb: 1}); !errors.Is(err, ErrBadLoss) {
+		t.Errorf("loss=1: %v", err)
+	}
+	if _, err := NewLink(LinkConfig{BytesPerSlot: 1, LatencySlots: -1}); !errors.Is(err, ErrBadLatency) {
+		t.Errorf("negative latency: %v", err)
+	}
+}
+
+func TestLinkTransmissionTiming(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 100, LatencySlots: 2})
+	// 300 bytes at 100 B/slot: tx 3 slots + 2 latency = delivered at 5.
+	tx := l.Transmit(300, 0)
+	if tx.Dropped {
+		t.Fatal("lossless link dropped")
+	}
+	if tx.StartSlot != 0 || tx.QueueingDelay != 0 {
+		t.Errorf("start=%v queue=%v", tx.StartSlot, tx.QueueingDelay)
+	}
+	if tx.DeliveredSlot != 5 {
+		t.Errorf("delivered at %v, want 5", tx.DeliveredSlot)
+	}
+}
+
+func TestLinkFIFOQueueing(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 100})
+	// Two back-to-back frames at slot 0: the second queues behind the first.
+	first := l.Transmit(200, 0) // busy until 2
+	second := l.Transmit(100, 0)
+	if first.DeliveredSlot != 2 {
+		t.Errorf("first delivered %v", first.DeliveredSlot)
+	}
+	if second.StartSlot != 2 || second.QueueingDelay != 2 {
+		t.Errorf("second start=%v queue=%v, want 2/2", second.StartSlot, second.QueueingDelay)
+	}
+	if second.DeliveredSlot != 3 {
+		t.Errorf("second delivered %v, want 3", second.DeliveredSlot)
+	}
+	// QueueDelay reflects the busy period.
+	if d := l.QueueDelay(0); d != 3 {
+		t.Errorf("queue delay at 0 = %v, want 3", d)
+	}
+	if d := l.QueueDelay(10); d != 0 {
+		t.Errorf("queue delay after idle = %v, want 0", d)
+	}
+}
+
+func TestLinkLossRate(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 1000, LossProb: 0.25, Seed: 5})
+	const n = 20000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if l.Transmit(1, i).Dropped {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / n
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("loss rate = %v, want ~0.25", rate)
+	}
+	st := l.Stats()
+	if st.Sent+st.Dropped != n {
+		t.Errorf("sent %d + dropped %d != %d", st.Sent, st.Dropped, n)
+	}
+}
+
+func TestLinkJitterNonNegativeAndVarying(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 1e6, LatencySlots: 1, JitterSlots: 0.5, Seed: 6})
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		tx := l.Transmit(1, i*10)
+		if tx.DeliveredSlot < float64(i*10)+1 {
+			t.Fatalf("delivery %v earlier than latency floor", tx.DeliveredSlot)
+		}
+		seen[tx.DeliveredSlot-float64(i*10)] = true
+	}
+	if len(seen) < 10 {
+		t.Error("jitter produced no variation")
+	}
+}
+
+func TestLinkDeterministicPerSeed(t *testing.T) {
+	mk := func() []float64 {
+		l := mustLink(t, LinkConfig{BytesPerSlot: 50, LatencySlots: 1, JitterSlots: 1, LossProb: 0.1, Seed: 9})
+		out := make([]float64, 100)
+		for i := range out {
+			tx := l.Transmit(25, i)
+			if tx.Dropped {
+				out[i] = -1
+			} else {
+				out[i] = tx.DeliveredSlot
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different link traces")
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	tb, err := NewTokenBucket(10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts full: a 50-byte burst passes, the next byte does not.
+	if !tb.Admit(50, 0) {
+		t.Fatal("full bucket must admit burst")
+	}
+	if tb.Admit(1, 0) {
+		t.Fatal("drained bucket must reject")
+	}
+	// After 3 slots: 30 tokens.
+	if !tb.Admit(30, 3) {
+		t.Fatal("refilled tokens must admit")
+	}
+	if tb.Admit(5, 3) {
+		t.Fatal("over-balance must reject")
+	}
+	// Refill caps at burst.
+	if !tb.Admit(50, 100) {
+		t.Fatal("cap refill must admit up to burst")
+	}
+	if tb.Tokens() != 0 {
+		t.Errorf("tokens = %v, want 0", tb.Tokens())
+	}
+	if _, err := NewTokenBucket(0, 1); err == nil {
+		t.Error("zero rate must error")
+	}
+	if _, err := NewTokenBucket(1, 0); err == nil {
+		t.Error("zero burst must error")
+	}
+}
+
+func TestLinkZeroByteFrames(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 10, LatencySlots: 1})
+	tx := l.Transmit(0, 5)
+	if tx.DeliveredSlot != 6 {
+		t.Errorf("zero-byte delivery = %v, want 6", tx.DeliveredSlot)
+	}
+	tx = l.Transmit(-10, 7)
+	if tx.DeliveredSlot != 8 {
+		t.Errorf("negative bytes must clamp: %v", tx.DeliveredSlot)
+	}
+}

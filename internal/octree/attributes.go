@@ -1,0 +1,295 @@
+package octree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"qarv/internal/pointcloud"
+)
+
+// Attribute-coded streams: the occupancy geometry stream followed by the
+// per-leaf average colors in Morton order, delta-coded per channel with
+// zigzag varints. Smooth surfaces (clothing, skin) have small
+// leaf-to-leaf color deltas in Morton order, so the delta coding shrinks
+// the attribute payload substantially versus raw RGB — this is the
+// payload a quality-aware AR stream at depth d actually ships, and the
+// size profile feeds the bytes-based cost model used by the edge-offload
+// experiments.
+
+// Attribute-coding errors.
+var (
+	ErrNoColors       = errors.New("octree: cloud has no colors to encode")
+	ErrCorruptColors  = errors.New("octree: corrupt color payload")
+	ErrColorCountMism = errors.New("octree: color count does not match leaf count")
+)
+
+var colorMagic = [4]byte{'Q', 'C', 'O', 'L'}
+
+// SerializeWithColors writes the occupancy stream at depth d followed by
+// the delta-coded per-leaf average colors.
+func (o *Octree) SerializeWithColors(w io.Writer, d int) error {
+	if !o.cloud.HasColors() {
+		return ErrNoColors
+	}
+	if err := o.Serialize(w, d); err != nil {
+		return err
+	}
+	lod, err := o.LOD(d, LODVoxelCenter)
+	if err != nil {
+		return err
+	}
+	// LOD(LODVoxelCenter) carries averaged colors in Morton order.
+	return encodeColors(w, lodColors(o, d, lod))
+}
+
+// lodColors returns the per-leaf average colors at depth d in Morton
+// order. The LOD already computes them; this indirection keeps the
+// encoding independent of LOD mode internals.
+func lodColors(o *Octree, d int, lod *pointcloud.Cloud) []pointcloud.Color {
+	if lod.HasColors() {
+		return lod.Colors
+	}
+	return make([]pointcloud.Color, lod.Len())
+}
+
+// SerializeWithColorsBytes returns the combined geometry+attribute stream.
+func (o *Octree) SerializeWithColorsBytes(d int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := o.SerializeWithColors(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// colorBlockSize is the number of deltas per bit-packed block. Each block
+// stores one bit-width byte followed by its deltas packed at that width,
+// so smooth runs (small deltas) cost a fraction of a byte per value.
+const colorBlockSize = 64
+
+func encodeColors(w io.Writer, colors []pointcloud.Color) error {
+	hdr := make([]byte, 0, 8)
+	hdr = append(hdr, colorMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(colors)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	var payload []byte
+	for ch := 0; ch < 3; ch++ {
+		deltas := channelDeltas(colors, ch)
+		payload = appendPackedBlocks(payload, deltas)
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// channelDeltas returns the zigzag-encoded leaf-to-leaf deltas of one
+// color channel in Morton order.
+func channelDeltas(colors []pointcloud.Color, ch int) []uint32 {
+	out := make([]uint32, len(colors))
+	prev := int32(0)
+	for i, c := range colors {
+		var v int32
+		switch ch {
+		case 0:
+			v = int32(c.R)
+		case 1:
+			v = int32(c.G)
+		default:
+			v = int32(c.B)
+		}
+		d := v - prev
+		out[i] = uint32((d << 1) ^ (d >> 31)) // zigzag
+		prev = v
+	}
+	return out
+}
+
+// appendPackedBlocks encodes deltas in blocks: per block one bit-width
+// byte, then the block's values packed at that width (0 width = all-zero
+// block, no payload).
+func appendPackedBlocks(dst []byte, deltas []uint32) []byte {
+	for start := 0; start < len(deltas); start += colorBlockSize {
+		end := start + colorBlockSize
+		if end > len(deltas) {
+			end = len(deltas)
+		}
+		block := deltas[start:end]
+		width := 0
+		for _, v := range block {
+			if w := bitsLen(v); w > width {
+				width = w
+			}
+		}
+		dst = append(dst, byte(width))
+		if width == 0 {
+			continue
+		}
+		var acc uint64
+		var nbits int
+		for _, v := range block {
+			acc = acc<<uint(width) | uint64(v)
+			nbits += width
+			for nbits >= 8 {
+				nbits -= 8
+				dst = append(dst, byte(acc>>uint(nbits)))
+			}
+		}
+		if nbits > 0 {
+			dst = append(dst, byte(acc<<uint(8-nbits)))
+		}
+	}
+	return dst
+}
+
+func bitsLen(v uint32) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// DecodedWithColors extends Decoded with per-leaf colors.
+type DecodedWithColors struct {
+	Decoded
+	Colors []pointcloud.Color
+}
+
+// Cloud returns the decoded voxel centers with their colors.
+func (d *DecodedWithColors) Cloud() *pointcloud.Cloud {
+	c := d.Decoded.Cloud()
+	c.Colors = make([]pointcloud.Color, len(d.Colors))
+	copy(c.Colors, d.Colors)
+	return c
+}
+
+// DeserializeWithColors decodes a combined geometry+attribute stream.
+func DeserializeWithColors(r io.Reader) (*DecodedWithColors, error) {
+	geo, err := Deserialize(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorruptColors, err)
+	}
+	if !bytes.Equal(hdr[:4], colorMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptColors)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if n != len(geo.Keys) {
+		return nil, fmt.Errorf("%w: %d colors for %d leaves", ErrColorCountMism, n, len(geo.Keys))
+	}
+	br := &blockReader{r: r}
+	out := &DecodedWithColors{Decoded: *geo, Colors: make([]pointcloud.Color, n)}
+	for ch := 0; ch < 3; ch++ {
+		deltas, err := br.readBlocks(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: channel %d: %v", ErrCorruptColors, ch, err)
+		}
+		prev := int32(0)
+		for i, zz := range deltas {
+			d := int32(zz>>1) ^ -int32(zz&1) // un-zigzag
+			v := prev + d
+			if v < 0 || v > 255 {
+				return nil, fmt.Errorf("%w: channel value %d out of range", ErrCorruptColors, v)
+			}
+			switch ch {
+			case 0:
+				out.Colors[i].R = uint8(v)
+			case 1:
+				out.Colors[i].G = uint8(v)
+			default:
+				out.Colors[i].B = uint8(v)
+			}
+			prev = v
+		}
+	}
+	return out, nil
+}
+
+// DeserializeWithColorsBytes decodes an in-memory combined stream.
+func DeserializeWithColorsBytes(data []byte) (*DecodedWithColors, error) {
+	return DeserializeWithColors(bytes.NewReader(data))
+}
+
+// blockReader decodes the bit-packed delta blocks written by
+// appendPackedBlocks.
+type blockReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *blockReader) readByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+func (b *blockReader) readBlocks(n int) ([]uint32, error) {
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		count := colorBlockSize
+		if remaining := n - len(out); remaining < count {
+			count = remaining
+		}
+		widthByte, err := b.readByte()
+		if err != nil {
+			return nil, err
+		}
+		width := int(widthByte)
+		if width > 16 {
+			return nil, errors.New("block bit width out of range")
+		}
+		if width == 0 {
+			for i := 0; i < count; i++ {
+				out = append(out, 0)
+			}
+			continue
+		}
+		var acc uint64
+		var nbits int
+		for i := 0; i < count; i++ {
+			for nbits < width {
+				by, err := b.readByte()
+				if err != nil {
+					return nil, err
+				}
+				acc = acc<<8 | uint64(by)
+				nbits += 8
+			}
+			nbits -= width
+			out = append(out, uint32(acc>>uint(nbits))&((1<<uint(width))-1))
+		}
+	}
+	return out, nil
+}
+
+// StreamSizeProfile measures the serialized stream size (bytes) per depth
+// 1..MaxDepth(), with or without the color payload. This is the workload
+// profile a(d) for network-bound offload scenarios: choosing depth d
+// enqueues bytes(d) onto the uplink.
+func (o *Octree) StreamSizeProfile(withColors bool) ([]int, error) {
+	sizes := make([]int, o.maxDepth+1)
+	for d := 1; d <= o.maxDepth; d++ {
+		var buf bytes.Buffer
+		var err error
+		if withColors {
+			err = o.SerializeWithColors(&buf, d)
+		} else {
+			err = o.Serialize(&buf, d)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("depth %d: %w", d, err)
+		}
+		sizes[d] = buf.Len()
+	}
+	// Depth 0 (root only) ships a bare header.
+	sizes[0] = headerSize
+	return sizes, nil
+}

@@ -1,0 +1,128 @@
+package octree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Progressive refinement: when the controller raises the depth from d1 to
+// d2, the device does not need the whole depth-d2 stream — only the
+// subtree occupancy below the depth-d1 leaves it already has. This is the
+// enhancement-layer encoding of scalable point-cloud codecs, and it is
+// what makes depth switching cheap in a live session: upgrades cost
+// bytes(d2) − bytes(d1), not bytes(d2).
+
+// Refinement errors.
+var (
+	ErrBadRefineRange = errors.New("octree: refinement needs 1 ≤ from < to ≤ max depth")
+	ErrBaseMismatch   = errors.New("octree: refinement does not match the decoded base")
+)
+
+var refineMagic = [4]byte{'Q', 'R', 'E', 'F'}
+
+// refinement header: magic, version, fromDepth, toDepth, base-leaf count.
+const refineHeaderSize = 4 + 1 + 1 + 1 + 4
+
+// SerializeRefinement writes the enhancement layer that upgrades a
+// depth-from occupancy set to depth-to: for every depth-from leaf in
+// Morton order, the DFS occupancy bytes of its subtree down to depth-to.
+func (o *Octree) SerializeRefinement(w io.Writer, from, to int) error {
+	if from < 1 || to <= from || to > o.maxDepth {
+		return fmt.Errorf("%w: from=%d to=%d (max %d)", ErrBadRefineRange, from, to, o.maxDepth)
+	}
+	baseLeaves, _ := o.OccupiedNodes(from)
+	hdr := make([]byte, 0, refineHeaderSize)
+	hdr = append(hdr, refineMagic[:]...)
+	hdr = append(hdr, 1, byte(from), byte(to))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(baseLeaves))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	bw := &byteWriter{w: w}
+	o.ForEachNode(from, func(n Node) {
+		o.serializeNode(bw, n.Start, n.End, from, to)
+	})
+	return bw.err
+}
+
+// SerializeRefinementBytes returns the enhancement layer in memory.
+func (o *Octree) SerializeRefinementBytes(from, to int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := o.SerializeRefinement(&buf, from, to); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ApplyRefinement upgrades a decoded base (at the refinement's from-depth)
+// with an enhancement layer, returning the decoded occupancy at to-depth.
+// The base must have exactly the leaf set the refinement was built for.
+func ApplyRefinement(base *Decoded, r io.Reader) (*Decoded, error) {
+	hdr := make([]byte, refineHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:4], refineMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, hdr[4])
+	}
+	from, to := int(hdr[5]), int(hdr[6])
+	if from < 1 || to <= from || to > MaxDepth {
+		return nil, fmt.Errorf("%w: from=%d to=%d", ErrBadRefineRange, from, to)
+	}
+	if base.Depth != from {
+		return nil, fmt.Errorf("%w: base depth %d, refinement from %d", ErrBaseMismatch, base.Depth, from)
+	}
+	wantLeaves := int(binary.LittleEndian.Uint32(hdr[7:]))
+	if wantLeaves != len(base.Keys) {
+		return nil, fmt.Errorf("%w: base has %d leaves, refinement built for %d",
+			ErrBaseMismatch, len(base.Keys), wantLeaves)
+	}
+	out := &Decoded{Box: base.Box, Depth: to}
+	br := &byteReader{r: r}
+	depthDelta := to - from
+	for _, key := range base.Keys {
+		sub := &Decoded{Box: base.Box, Depth: depthDelta}
+		decodeNode(br, sub, 0, 0)
+		if br.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, br.err)
+		}
+		for _, subKey := range sub.Keys {
+			out.Keys = append(out.Keys, key<<uint(3*depthDelta)|subKey)
+		}
+	}
+	// The stream must be fully consumed (no trailing subtrees).
+	var trailing [1]byte
+	if n, _ := r.Read(trailing[:]); n != 0 {
+		return nil, fmt.Errorf("%w: trailing refinement data", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// ApplyRefinementBytes applies an in-memory enhancement layer.
+func ApplyRefinementBytes(base *Decoded, data []byte) (*Decoded, error) {
+	return ApplyRefinement(base, bytes.NewReader(data))
+}
+
+// RefinementSize returns the enhancement-layer byte count from → to
+// without materializing it (for upgrade-cost decisions).
+func (o *Octree) RefinementSize(from, to int) (int, error) {
+	if from < 1 || to <= from || to > o.maxDepth {
+		return 0, fmt.Errorf("%w: from=%d to=%d", ErrBadRefineRange, from, to)
+	}
+	// One occupancy byte per internal node at depths [from, to).
+	total := refineHeaderSize
+	for d := from; d < to; d++ {
+		n, err := o.OccupiedNodes(d)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}

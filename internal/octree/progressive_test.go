@@ -1,0 +1,161 @@
+package octree
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRefinementMatchesFullStream(t *testing.T) {
+	// Base at depth 4 + refinement 4→8 must reconstruct exactly the
+	// depth-8 occupancy set.
+	c := randomCloud(1500, 41)
+	o, err := Build(c, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseData, err := o.SerializeBytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := DeserializeBytes(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refineData, err := o.SerializeRefinementBytes(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ApplyRefinementBytes(base, refineData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullData, err := o.SerializeBytes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DeserializeBytes(fullData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth != want.Depth || len(got.Keys) != len(want.Keys) {
+		t.Fatalf("refined: depth %d, %d keys; want depth %d, %d keys",
+			got.Depth, len(got.Keys), want.Depth, len(want.Keys))
+	}
+	for i := range got.Keys {
+		if got.Keys[i] != want.Keys[i] {
+			t.Fatalf("key %d: %d != %d", i, got.Keys[i], want.Keys[i])
+		}
+	}
+}
+
+func TestRefinementCheaperThanFullStream(t *testing.T) {
+	// The whole point: upgrading 7→8 must cost less than resending the
+	// depth-8 stream, and base+refinement together must not exceed the
+	// full stream by more than the extra header.
+	o, err := Build(randomCloud(3000, 42), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refine, err := o.SerializeRefinementBytes(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := o.SerializeBytes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refine) >= len(full) {
+		t.Errorf("refinement %dB not cheaper than full stream %dB", len(refine), len(full))
+	}
+	base, err := o.SerializeBytes(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := refineHeaderSize
+	if len(base)+len(refine) > len(full)+overhead+headerSize {
+		t.Errorf("base %d + refine %d ≫ full %d", len(base), len(refine), len(full))
+	}
+	// RefinementSize predicts the actual stream size exactly.
+	predicted, err := o.RefinementSize(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted != len(refine) {
+		t.Errorf("RefinementSize = %d, actual %d", predicted, len(refine))
+	}
+}
+
+func TestRefinementMultiHop(t *testing.T) {
+	// Chained upgrades 3→5→7 must equal the direct depth-7 set.
+	o, err := Build(randomCloud(800, 43), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseData, err := o.SerializeBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := DeserializeBytes(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range [][2]int{{3, 5}, {5, 7}} {
+		data, err := o.SerializeRefinementBytes(hop[0], hop[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = ApplyRefinementBytes(cur, data)
+		if err != nil {
+			t.Fatalf("hop %v: %v", hop, err)
+		}
+	}
+	want, _ := o.OccupiedNodes(7)
+	if len(cur.Keys) != want {
+		t.Fatalf("multi-hop keys = %d, want %d", len(cur.Keys), want)
+	}
+}
+
+func TestRefinementValidation(t *testing.T) {
+	o, err := Build(randomCloud(200, 44), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{0, 3}, {3, 3}, {5, 4}, {3, 7}} {
+		if _, err := o.SerializeRefinementBytes(bad[0], bad[1]); !errors.Is(err, ErrBadRefineRange) {
+			t.Errorf("range %v: %v", bad, err)
+		}
+		if _, err := o.RefinementSize(bad[0], bad[1]); !errors.Is(err, ErrBadRefineRange) {
+			t.Errorf("size range %v: %v", bad, err)
+		}
+	}
+	// Mismatched base: wrong depth.
+	baseData, _ := o.SerializeBytes(3)
+	base, _ := DeserializeBytes(baseData)
+	refineData, err := o.SerializeRefinementBytes(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyRefinementBytes(base, refineData); !errors.Is(err, ErrBaseMismatch) {
+		t.Errorf("depth mismatch: %v", err)
+	}
+	// Mismatched base: right depth, wrong leaf count (different cloud).
+	other, err := Build(randomCloud(900, 45), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBaseData, _ := other.SerializeBytes(4)
+	otherBase, _ := DeserializeBytes(otherBaseData)
+	if _, err := ApplyRefinementBytes(otherBase, refineData); !errors.Is(err, ErrBaseMismatch) {
+		t.Errorf("leaf-count mismatch: %v", err)
+	}
+	// Truncated refinement.
+	goodBaseData, _ := o.SerializeBytes(4)
+	goodBase, _ := DeserializeBytes(goodBaseData)
+	if _, err := ApplyRefinementBytes(goodBase, refineData[:len(refineData)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: %v", err)
+	}
+	// Garbage magic.
+	if _, err := ApplyRefinementBytes(goodBase, []byte("XXXXxxxxxxxxxx")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+}

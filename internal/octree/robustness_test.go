@@ -1,0 +1,100 @@
+package octree
+
+import (
+	"bytes"
+	"testing"
+
+	"qarv/internal/geom"
+)
+
+// Robustness: deserializers must reject arbitrary garbage and mutated
+// streams without panicking (seeded fuzz-shaped corpora).
+
+func TestDeserializeSurvivesRandomGarbage(t *testing.T) {
+	rng := geom.NewRNG(201)
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(1024)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on garbage %d: %v", i, r)
+				}
+			}()
+			_, _ = DeserializeBytes(data)
+			_, _ = DeserializeWithColorsBytes(data)
+		}()
+	}
+}
+
+func TestDeserializeSurvivesMagicPrefixedGarbage(t *testing.T) {
+	rng := geom.NewRNG(202)
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(512)
+		data := make([]byte, headerSize+n)
+		copy(data, serializeMagic[:])
+		data[4] = 1                      // valid version
+		data[5] = byte(rng.Intn(24) + 1) // plausible-ish depth
+		for j := 6; j < len(data); j++ {
+			data[j] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on header+garbage %d: %v", i, r)
+				}
+			}()
+			_, _ = DeserializeBytes(data)
+		}()
+	}
+}
+
+func TestDeserializeSurvivesMutatedStream(t *testing.T) {
+	c := smoothCloud(500, 203)
+	o, err := Build(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := o.SerializeWithColorsBytes(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := geom.NewRNG(204)
+	for i := 0; i < 300; i++ {
+		mutated := bytes.Clone(valid)
+		for m := 0; m <= rng.Intn(6); m++ {
+			mutated[rng.Intn(len(mutated))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v", i, r)
+				}
+			}()
+			// Either a decode error or a (possibly different) valid
+			// result — both acceptable; panics are not. A successful
+			// decode must still satisfy basic sanity.
+			dec, err := DeserializeWithColorsBytes(mutated)
+			if err == nil && len(dec.Colors) != len(dec.Keys) {
+				t.Fatalf("mutation %d: inconsistent decode", i)
+			}
+		}()
+	}
+}
+
+func TestDeserializeDeepGarbageBoundedWork(t *testing.T) {
+	// A stream of all-0xFF occupancy bytes at max depth explodes
+	// breadth-first trees; the decoder is depth-first and must stop at
+	// the stream's end with an error rather than hanging or panicking.
+	data := make([]byte, headerSize)
+	copy(data, serializeMagic[:])
+	data[4] = 1
+	data[5] = MaxDepth
+	body := bytes.Repeat([]byte{0xFF}, 4096)
+	if _, err := DeserializeBytes(append(data, body...)); err == nil {
+		t.Fatal("truncated full-fanout stream must error")
+	}
+}

@@ -1,0 +1,209 @@
+package octree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"qarv/internal/geom"
+	"qarv/internal/pointcloud"
+)
+
+// Occupancy-byte serialization, the standard compact octree encoding used
+// by point-cloud codecs: a pre-order DFS where each internal node emits one
+// byte whose bit i says child octant i is occupied. Decoding reconstructs
+// the voxel set exactly (geometry only, no attributes), which is the
+// payload an AR stream at depth d would ship.
+
+// Serialization errors; matchable with errors.Is.
+var (
+	ErrBadMagic     = errors.New("octree: bad serialization magic")
+	ErrCorrupt      = errors.New("octree: corrupt serialization")
+	ErrDepthTooDeep = errors.New("octree: serialized depth exceeds supported maximum")
+)
+
+var serializeMagic = [4]byte{'Q', 'O', 'C', 'T'}
+
+// header layout: magic, version byte, depth byte, box (6 × float64),
+// leaf count (uint32) for validation.
+const headerSize = 4 + 1 + 1 + 48 + 4
+
+// Serialize writes the occupancy encoding of the octree at depth d to w.
+func (o *Octree) Serialize(w io.Writer, d int) error {
+	if d < 1 || d > o.maxDepth {
+		return fmt.Errorf("%w: %d", ErrBadDepth, d)
+	}
+	leaves, _ := o.OccupiedNodes(d)
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, serializeMagic[:]...)
+	hdr = append(hdr, 1, byte(d))
+	for _, f := range []float64{
+		o.box.Min.X, o.box.Min.Y, o.box.Min.Z,
+		o.box.Max.X, o.box.Max.Y, o.box.Max.Z,
+	} {
+		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(f))
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(leaves))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	bw := &byteWriter{w: w}
+	o.serializeNode(bw, 0, len(o.keys), 0, d)
+	return bw.err
+}
+
+// SerializeBytes returns the occupancy encoding at depth d.
+func (o *Octree) SerializeBytes(d int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := o.Serialize(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type byteWriter struct {
+	w   io.Writer
+	err error
+	buf [1]byte
+}
+
+func (b *byteWriter) writeByte(v byte) {
+	if b.err != nil {
+		return
+	}
+	b.buf[0] = v
+	_, b.err = b.w.Write(b.buf[:])
+}
+
+// serializeNode emits the occupancy byte of the node spanning keys
+// [start,end) at the given level, then recurses into occupied children,
+// stopping at leafDepth.
+func (o *Octree) serializeNode(bw *byteWriter, start, end, level, leafDepth int) {
+	if level == leafDepth {
+		return
+	}
+	// Partition [start,end) by child octant at this level.
+	var childStart [9]int
+	childStart[0] = start
+	pos := start
+	for c := 0; c < 8; c++ {
+		for pos < end && geom.MortonChildIndex(o.keys[pos], level) == c {
+			pos++
+		}
+		childStart[c+1] = pos
+	}
+	var mask byte
+	for c := 0; c < 8; c++ {
+		if childStart[c+1] > childStart[c] {
+			mask |= 1 << uint(c)
+		}
+	}
+	bw.writeByte(mask)
+	for c := 0; c < 8; c++ {
+		if childStart[c+1] > childStart[c] {
+			o.serializeNode(bw, childStart[c], childStart[c+1], level+1, leafDepth)
+		}
+	}
+}
+
+// Decoded is the result of deserializing an occupancy stream: the root box,
+// the leaf depth, and the occupied leaf voxels.
+type Decoded struct {
+	Box   geom.AABB
+	Depth int
+	Keys  []uint64 // depth-Depth Morton prefixes of occupied leaves, in order
+}
+
+// Cloud returns the decoded voxel centers as a point cloud.
+func (dec *Decoded) Cloud() *pointcloud.Cloud {
+	c := &pointcloud.Cloud{Points: make([]geom.Vec3, 0, len(dec.Keys))}
+	for _, k := range dec.Keys {
+		c.Points = append(c.Points, geom.VoxelCenter(k, dec.Depth, dec.Box))
+	}
+	return c
+}
+
+// Deserialize decodes an occupancy stream produced by Serialize.
+func Deserialize(r io.Reader) (*Decoded, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:4], serializeMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != 1 {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrCorrupt, hdr[4])
+	}
+	depth := int(hdr[5])
+	if depth < 1 || depth > MaxDepth {
+		return nil, fmt.Errorf("%w: depth %d", ErrDepthTooDeep, depth)
+	}
+	vals := make([]float64, 6)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(hdr[6+8*i:]))
+	}
+	wantLeaves := binary.LittleEndian.Uint32(hdr[6+48:])
+	dec := &Decoded{
+		Box: geom.AABB{
+			Min: geom.V(vals[0], vals[1], vals[2]),
+			Max: geom.V(vals[3], vals[4], vals[5]),
+		},
+		Depth: depth,
+	}
+	br := &byteReader{r: r}
+	decodeNode(br, dec, 0, 0)
+	if br.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, br.err)
+	}
+	if uint32(len(dec.Keys)) != wantLeaves {
+		return nil, fmt.Errorf("%w: decoded %d leaves, header says %d",
+			ErrCorrupt, len(dec.Keys), wantLeaves)
+	}
+	return dec, nil
+}
+
+// DeserializeBytes decodes an in-memory occupancy stream.
+func DeserializeBytes(data []byte) (*Decoded, error) {
+	return Deserialize(bytes.NewReader(data))
+}
+
+type byteReader struct {
+	r   io.Reader
+	err error
+	buf [1]byte
+}
+
+func (b *byteReader) readByte() byte {
+	if b.err != nil {
+		return 0
+	}
+	_, b.err = io.ReadFull(b.r, b.buf[:])
+	return b.buf[0]
+}
+
+func decodeNode(br *byteReader, dec *Decoded, prefix uint64, level int) {
+	if br.err != nil {
+		return
+	}
+	if level == dec.Depth {
+		dec.Keys = append(dec.Keys, prefix)
+		return
+	}
+	mask := br.readByte()
+	if br.err != nil {
+		return
+	}
+	if mask == 0 {
+		br.err = errors.New("empty occupancy byte for occupied node")
+		return
+	}
+	for c := 0; c < 8; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			decodeNode(br, dec, prefix<<3|uint64(c), level+1)
+		}
+	}
+}

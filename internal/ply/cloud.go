@@ -1,0 +1,129 @@
+package ply
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"qarv/internal/geom"
+	"qarv/internal/pointcloud"
+)
+
+// ErrNoVertexElement is returned when a PLY file has no vertex positions.
+var ErrNoVertexElement = errors.New("ply: no vertex element with x/y/z properties")
+
+// FromCloud builds a PLY File in the 8i Voxelized Full Bodies layout:
+// a vertex element with float x/y/z and, when the cloud has them,
+// uchar red/green/blue and float nx/ny/nz.
+func FromCloud(c *pointcloud.Cloud, format Format, comments ...string) *File {
+	n := c.Len()
+	elem := Element{
+		Name:  "vertex",
+		Count: n,
+		Properties: []Property{
+			{Name: "x", Type: Float32},
+			{Name: "y", Type: Float32},
+			{Name: "z", Type: Float32},
+		},
+	}
+	cols := map[string][]float64{
+		"x": make([]float64, n),
+		"y": make([]float64, n),
+		"z": make([]float64, n),
+	}
+	for i, p := range c.Points {
+		cols["x"][i] = p.X
+		cols["y"][i] = p.Y
+		cols["z"][i] = p.Z
+	}
+	if c.HasColors() {
+		elem.Properties = append(elem.Properties,
+			Property{Name: "red", Type: UInt8},
+			Property{Name: "green", Type: UInt8},
+			Property{Name: "blue", Type: UInt8},
+		)
+		cols["red"] = make([]float64, n)
+		cols["green"] = make([]float64, n)
+		cols["blue"] = make([]float64, n)
+		for i, col := range c.Colors {
+			cols["red"][i] = float64(col.R)
+			cols["green"][i] = float64(col.G)
+			cols["blue"][i] = float64(col.B)
+		}
+	}
+	if c.HasNormals() {
+		elem.Properties = append(elem.Properties,
+			Property{Name: "nx", Type: Float32},
+			Property{Name: "ny", Type: Float32},
+			Property{Name: "nz", Type: Float32},
+		)
+		cols["nx"] = make([]float64, n)
+		cols["ny"] = make([]float64, n)
+		cols["nz"] = make([]float64, n)
+		for i, nv := range c.Normals {
+			cols["nx"][i] = nv.X
+			cols["ny"][i] = nv.Y
+			cols["nz"][i] = nv.Z
+		}
+	}
+	return &File{
+		Header: Header{
+			Format:   format,
+			Version:  "1.0",
+			Comments: comments,
+			Elements: []Element{elem},
+		},
+		Scalars: map[string]map[string][]float64{"vertex": cols},
+		Lists:   map[string]map[string][][]float64{},
+	}
+}
+
+// ToCloud extracts the vertex element of a decoded PLY file as a point
+// cloud, carrying colors (red/green/blue) and normals (nx/ny/nz) when
+// present. Float32 x/y/z precision loss is accepted, as in the dataset.
+func ToCloud(f *File) (*pointcloud.Cloud, error) {
+	elem := f.Header.Element("vertex")
+	if elem == nil {
+		return nil, ErrNoVertexElement
+	}
+	cols := f.Scalars["vertex"]
+	xs, ys, zs := cols["x"], cols["y"], cols["z"]
+	if xs == nil || ys == nil || zs == nil {
+		return nil, ErrNoVertexElement
+	}
+	n := elem.Count
+	c := &pointcloud.Cloud{Points: make([]geom.Vec3, n)}
+	for i := 0; i < n; i++ {
+		c.Points[i] = geom.V(xs[i], ys[i], zs[i])
+	}
+	if r, g, b := cols["red"], cols["green"], cols["blue"]; r != nil && g != nil && b != nil {
+		c.Colors = make([]pointcloud.Color, n)
+		for i := 0; i < n; i++ {
+			c.Colors[i] = pointcloud.Color{R: uint8(r[i]), G: uint8(g[i]), B: uint8(b[i])}
+		}
+	}
+	if nx, ny, nz := cols["nx"], cols["ny"], cols["nz"]; nx != nil && ny != nil && nz != nil {
+		c.Normals = make([]geom.Vec3, n)
+		for i := 0; i < n; i++ {
+			c.Normals[i] = geom.V(nx[i], ny[i], nz[i])
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("ply: decoded cloud invalid: %w", err)
+	}
+	return c, nil
+}
+
+// WriteCloud encodes a cloud to w in the 8i vertex layout.
+func WriteCloud(w io.Writer, c *pointcloud.Cloud, format Format, comments ...string) error {
+	return Write(w, FromCloud(c, format, comments...))
+}
+
+// ReadCloud decodes a PLY stream and extracts its vertex cloud.
+func ReadCloud(r io.Reader) (*pointcloud.Cloud, error) {
+	f, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return ToCloud(f)
+}

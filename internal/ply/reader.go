@@ -1,0 +1,193 @@
+package ply
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// File is a fully decoded PLY file: the header plus, for every element,
+// its property values. Scalar values are widened to float64; list values
+// are stored per row.
+type File struct {
+	Header Header
+	// Data[elementIndex][propertyIndex] is a column of values.
+	// For scalar properties the column is []float64 of length Element.Count.
+	// For list properties it is [][]float64 with one row per element.
+	Scalars map[string]map[string][]float64
+	Lists   map[string]map[string][][]float64
+}
+
+// Read decodes a complete PLY file from r.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := parseHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		Header:  *h,
+		Scalars: make(map[string]map[string][]float64, len(h.Elements)),
+		Lists:   make(map[string]map[string][][]float64),
+	}
+	for _, elem := range h.Elements {
+		// Cap the capacity hint: a hostile header can declare billions of
+		// rows, and the allocation must not outrun the actual body (decode
+		// fails fast on truncation either way).
+		capHint := elem.Count
+		if capHint > 1<<20 {
+			capHint = 1 << 20
+		}
+		f.Scalars[elem.Name] = make(map[string][]float64, len(elem.Properties))
+		for _, p := range elem.Properties {
+			if p.IsList {
+				if f.Lists[elem.Name] == nil {
+					f.Lists[elem.Name] = make(map[string][][]float64)
+				}
+				f.Lists[elem.Name][p.Name] = make([][]float64, 0, capHint)
+			} else {
+				f.Scalars[elem.Name][p.Name] = make([]float64, 0, capHint)
+			}
+		}
+		var readErr error
+		switch h.Format {
+		case ASCII:
+			readErr = readASCIIElement(br, f, elem)
+		case BinaryLittleEndian:
+			readErr = readBinaryElement(br, f, elem, binary.LittleEndian)
+		case BinaryBigEndian:
+			readErr = readBinaryElement(br, f, elem, binary.BigEndian)
+		default:
+			readErr = ErrBadFormat
+		}
+		if readErr != nil {
+			return nil, fmt.Errorf("element %q: %w", elem.Name, readErr)
+		}
+	}
+	return f, nil
+}
+
+func readASCIIElement(br *bufio.Reader, f *File, elem Element) error {
+	for row := 0; row < elem.Count; row++ {
+		line, err := readNonEmptyLine(br)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", row, ErrTruncated)
+		}
+		fields := strings.Fields(line)
+		pos := 0
+		for _, p := range elem.Properties {
+			if p.IsList {
+				if pos >= len(fields) {
+					return fmt.Errorf("row %d: %w", row, ErrTruncated)
+				}
+				n, err := strconv.Atoi(fields[pos])
+				if err != nil || n < 0 {
+					return fmt.Errorf("row %d: bad list count %q: %w", row, fields[pos], ErrBadHeader)
+				}
+				pos++
+				if pos+n > len(fields) {
+					return fmt.Errorf("row %d: %w", row, ErrTruncated)
+				}
+				vals := make([]float64, n)
+				for i := 0; i < n; i++ {
+					v, err := strconv.ParseFloat(fields[pos], 64)
+					if err != nil {
+						return fmt.Errorf("row %d: bad value %q", row, fields[pos])
+					}
+					vals[i] = v
+					pos++
+				}
+				f.Lists[elem.Name][p.Name] = append(f.Lists[elem.Name][p.Name], vals)
+				continue
+			}
+			if pos >= len(fields) {
+				return fmt.Errorf("row %d: %w", row, ErrTruncated)
+			}
+			v, err := strconv.ParseFloat(fields[pos], 64)
+			if err != nil {
+				return fmt.Errorf("row %d: bad value %q", row, fields[pos])
+			}
+			f.Scalars[elem.Name][p.Name] = append(f.Scalars[elem.Name][p.Name], v)
+			pos++
+		}
+	}
+	return nil
+}
+
+func readNonEmptyLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" {
+			return trimmed, nil
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+func readBinaryElement(br *bufio.Reader, f *File, elem Element, order binary.ByteOrder) error {
+	buf := make([]byte, 8)
+	for row := 0; row < elem.Count; row++ {
+		for _, p := range elem.Properties {
+			if p.IsList {
+				count, err := readScalar(br, p.CountType, order, buf)
+				if err != nil {
+					return fmt.Errorf("row %d list count: %w", row, ErrTruncated)
+				}
+				n := int(count)
+				if n < 0 {
+					return fmt.Errorf("row %d: negative list count", row)
+				}
+				vals := make([]float64, n)
+				for i := 0; i < n; i++ {
+					v, err := readScalar(br, p.Type, order, buf)
+					if err != nil {
+						return fmt.Errorf("row %d list value: %w", row, ErrTruncated)
+					}
+					vals[i] = v
+				}
+				f.Lists[elem.Name][p.Name] = append(f.Lists[elem.Name][p.Name], vals)
+				continue
+			}
+			v, err := readScalar(br, p.Type, order, buf)
+			if err != nil {
+				return fmt.Errorf("row %d: %w", row, ErrTruncated)
+			}
+			f.Scalars[elem.Name][p.Name] = append(f.Scalars[elem.Name][p.Name], v)
+		}
+	}
+	return nil
+}
+
+func readScalar(br *bufio.Reader, t ScalarType, order binary.ByteOrder, buf []byte) (float64, error) {
+	b := buf[:t.Size()]
+	if _, err := io.ReadFull(br, b); err != nil {
+		return 0, err
+	}
+	switch t {
+	case Int8:
+		return float64(int8(b[0])), nil
+	case UInt8:
+		return float64(b[0]), nil
+	case Int16:
+		return float64(int16(order.Uint16(b))), nil
+	case UInt16:
+		return float64(order.Uint16(b)), nil
+	case Int32:
+		return float64(int32(order.Uint32(b))), nil
+	case UInt32:
+		return float64(order.Uint32(b)), nil
+	case Float32:
+		return float64(math.Float32frombits(order.Uint32(b))), nil
+	case Float64:
+		return math.Float64frombits(order.Uint64(b)), nil
+	default:
+		return 0, ErrBadScalarType
+	}
+}

@@ -1,0 +1,208 @@
+package ply
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ErrMissingColumn is returned by Write when an element's property has no
+// corresponding data column in the File.
+var ErrMissingColumn = errors.New("ply: data column missing for declared property")
+
+// Write encodes f to w using the format recorded in f.Header.Format.
+// Columns must exist for every declared property and have exactly
+// Element.Count rows.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeHeader(bw, &f.Header); err != nil {
+		return err
+	}
+	for _, elem := range f.Header.Elements {
+		if err := validateColumns(f, elem); err != nil {
+			return err
+		}
+		var err error
+		switch f.Header.Format {
+		case ASCII:
+			err = writeASCIIElement(bw, f, elem)
+		case BinaryLittleEndian:
+			err = writeBinaryElement(bw, f, elem, binary.LittleEndian)
+		case BinaryBigEndian:
+			err = writeBinaryElement(bw, f, elem, binary.BigEndian)
+		default:
+			err = ErrBadFormat
+		}
+		if err != nil {
+			return fmt.Errorf("element %q: %w", elem.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, h *Header) error {
+	version := h.Version
+	if version == "" {
+		version = "1.0"
+	}
+	if _, err := fmt.Fprintf(bw, "ply\nformat %s %s\n", h.Format, version); err != nil {
+		return err
+	}
+	for _, c := range h.Comments {
+		if _, err := fmt.Fprintf(bw, "comment %s\n", c); err != nil {
+			return err
+		}
+	}
+	for _, e := range h.Elements {
+		if _, err := fmt.Fprintf(bw, "element %s %d\n", e.Name, e.Count); err != nil {
+			return err
+		}
+		for _, p := range e.Properties {
+			var err error
+			if p.IsList {
+				_, err = fmt.Fprintf(bw, "property list %s %s %s\n", p.CountType, p.Type, p.Name)
+			} else {
+				_, err = fmt.Fprintf(bw, "property %s %s\n", p.Type, p.Name)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := bw.WriteString("end_header\n")
+	return err
+}
+
+func validateColumns(f *File, elem Element) error {
+	for _, p := range elem.Properties {
+		if p.IsList {
+			col := f.Lists[elem.Name][p.Name]
+			if col == nil {
+				return fmt.Errorf("%w: %s.%s", ErrMissingColumn, elem.Name, p.Name)
+			}
+			if len(col) != elem.Count {
+				return fmt.Errorf("ply: %s.%s has %d rows, element declares %d",
+					elem.Name, p.Name, len(col), elem.Count)
+			}
+			continue
+		}
+		col := f.Scalars[elem.Name][p.Name]
+		if col == nil {
+			return fmt.Errorf("%w: %s.%s", ErrMissingColumn, elem.Name, p.Name)
+		}
+		if len(col) != elem.Count {
+			return fmt.Errorf("ply: %s.%s has %d rows, element declares %d",
+				elem.Name, p.Name, len(col), elem.Count)
+		}
+	}
+	return nil
+}
+
+func writeASCIIElement(bw *bufio.Writer, f *File, elem Element) error {
+	for row := 0; row < elem.Count; row++ {
+		first := true
+		for _, p := range elem.Properties {
+			if p.IsList {
+				vals := f.Lists[elem.Name][p.Name][row]
+				if !first {
+					if err := bw.WriteByte(' '); err != nil {
+						return err
+					}
+				}
+				first = false
+				if _, err := bw.WriteString(strconv.Itoa(len(vals))); err != nil {
+					return err
+				}
+				for _, v := range vals {
+					if err := bw.WriteByte(' '); err != nil {
+						return err
+					}
+					if _, err := bw.WriteString(formatScalar(v, p.Type)); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if !first {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			first = false
+			v := f.Scalars[elem.Name][p.Name][row]
+			if _, err := bw.WriteString(formatScalar(v, p.Type)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatScalar(v float64, t ScalarType) string {
+	switch t {
+	case Float32:
+		return strconv.FormatFloat(v, 'g', -1, 32)
+	case Float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	default:
+		return strconv.FormatInt(int64(v), 10)
+	}
+}
+
+func writeBinaryElement(bw *bufio.Writer, f *File, elem Element, order binary.ByteOrder) error {
+	buf := make([]byte, 8)
+	for row := 0; row < elem.Count; row++ {
+		for _, p := range elem.Properties {
+			if p.IsList {
+				vals := f.Lists[elem.Name][p.Name][row]
+				if err := writeScalar(bw, float64(len(vals)), p.CountType, order, buf); err != nil {
+					return err
+				}
+				for _, v := range vals {
+					if err := writeScalar(bw, v, p.Type, order, buf); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			v := f.Scalars[elem.Name][p.Name][row]
+			if err := writeScalar(bw, v, p.Type, order, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeScalar(bw *bufio.Writer, v float64, t ScalarType, order binary.ByteOrder, buf []byte) error {
+	b := buf[:t.Size()]
+	switch t {
+	case Int8:
+		b[0] = byte(int8(v))
+	case UInt8:
+		b[0] = byte(uint8(v))
+	case Int16:
+		order.PutUint16(b, uint16(int16(v)))
+	case UInt16:
+		order.PutUint16(b, uint16(v))
+	case Int32:
+		order.PutUint32(b, uint32(int32(v)))
+	case UInt32:
+		order.PutUint32(b, uint32(v))
+	case Float32:
+		order.PutUint32(b, math.Float32bits(float32(v)))
+	case Float64:
+		order.PutUint64(b, math.Float64bits(v))
+	default:
+		return ErrBadScalarType
+	}
+	_, err := bw.Write(b)
+	return err
+}

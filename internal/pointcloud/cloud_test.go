@@ -1,0 +1,165 @@
+package pointcloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qarv/internal/geom"
+)
+
+func cubeCloud(n int, seed uint64) *Cloud {
+	rng := geom.NewRNG(seed)
+	c := New(n)
+	for i := 0; i < n; i++ {
+		c.Append(geom.V(rng.Float64(), rng.Float64(), rng.Float64()), nil, nil)
+	}
+	return c
+}
+
+func coloredCloud(n int, seed uint64) *Cloud {
+	rng := geom.NewRNG(seed)
+	c := &Cloud{Colors: []Color{}}
+	for i := 0; i < n; i++ {
+		col := Color{R: uint8(rng.Intn(256)), G: uint8(rng.Intn(256)), B: uint8(rng.Intn(256))}
+		c.Append(geom.V(rng.Float64(), rng.Float64(), rng.Float64()), &col, nil)
+	}
+	return c
+}
+
+func TestCloudValidate(t *testing.T) {
+	c := cubeCloud(10, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid cloud rejected: %v", err)
+	}
+	c.Colors = make([]Color, 3)
+	err := c.Validate()
+	if !errors.Is(err, ErrAttributeLength) {
+		t.Fatalf("mismatched colors not detected: %v", err)
+	}
+	c.Colors = nil
+	c.Normals = make([]geom.Vec3, 2)
+	if !errors.Is(c.Validate(), ErrAttributeLength) {
+		t.Fatal("mismatched normals not detected")
+	}
+}
+
+func TestCloudCloneIsDeep(t *testing.T) {
+	c := coloredCloud(5, 2)
+	c.EstimateNormals(3, geom.V(0, 0, 10))
+	d := c.Clone()
+	d.Points[0] = geom.V(99, 99, 99)
+	d.Colors[0] = Color{R: 1}
+	d.Normals[0] = geom.V(9, 9, 9)
+	if c.Points[0] == d.Points[0] || c.Colors[0] == d.Colors[0] || c.Normals[0] == d.Normals[0] {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCloudAppendBackfillsAttributes(t *testing.T) {
+	c := &Cloud{}
+	c.Append(geom.V(0, 0, 0), nil, nil)
+	col := Color{R: 10}
+	c.Append(geom.V(1, 1, 1), &col, nil)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("backfill broke invariant: %v", err)
+	}
+	if c.Colors[0] != (Color{}) || c.Colors[1] != col {
+		t.Errorf("colors = %v", c.Colors)
+	}
+}
+
+func TestCloudMergeAttributes(t *testing.T) {
+	a := cubeCloud(3, 3)
+	b := coloredCloud(4, 4)
+	a.Merge(b)
+	if a.Len() != 7 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("merge broke invariant: %v", err)
+	}
+	if a.Colors[0] != (Color{}) {
+		t.Error("uncolored prefix must backfill zero colors")
+	}
+	if a.Colors[3] != b.Colors[0] {
+		t.Error("merged colors not carried over")
+	}
+}
+
+func TestCloudBoundsAndCentroid(t *testing.T) {
+	c := &Cloud{}
+	c.Append(geom.V(0, 0, 0), nil, nil)
+	c.Append(geom.V(2, 4, 6), nil, nil)
+	b := c.Bounds()
+	if b.Min != geom.V(0, 0, 0) || b.Max != geom.V(2, 4, 6) {
+		t.Errorf("bounds = %v", b)
+	}
+	if got := c.Centroid(); got != geom.V(1, 2, 3) {
+		t.Errorf("centroid = %v", got)
+	}
+	if (&Cloud{}).Centroid() != (geom.Vec3{}) {
+		t.Error("empty centroid must be zero")
+	}
+}
+
+func TestCloudTransforms(t *testing.T) {
+	c := &Cloud{}
+	c.Append(geom.V(1, 0, 0), nil, nil)
+	c.Translate(geom.V(0, 1, 0))
+	if c.Points[0] != geom.V(1, 1, 0) {
+		t.Errorf("translate = %v", c.Points[0])
+	}
+	c.Scale(2)
+	if c.Points[0] != geom.V(2, 2, 0) {
+		t.Errorf("scale = %v", c.Points[0])
+	}
+	c.Normals = []geom.Vec3{geom.V(1, 0, 0)}
+	c.RotateY(math.Pi)
+	if c.Points[0].Dist(geom.V(-2, 2, 0)) > 1e-12 {
+		t.Errorf("rotate = %v", c.Points[0])
+	}
+	if c.Normals[0].Dist(geom.V(-1, 0, 0)) > 1e-12 {
+		t.Errorf("normal not rotated: %v", c.Normals[0])
+	}
+}
+
+func TestCloudCrop(t *testing.T) {
+	c := coloredCloud(200, 5)
+	box := geom.NewAABB(geom.V(0, 0, 0), geom.V(0.5, 0.5, 0.5))
+	cropped := c.Crop(box)
+	if cropped.Len() == 0 || cropped.Len() == c.Len() {
+		t.Fatalf("crop kept %d of %d", cropped.Len(), c.Len())
+	}
+	for _, p := range cropped.Points {
+		if !box.Contains(p) {
+			t.Fatalf("cropped point %v outside box", p)
+		}
+	}
+	if len(cropped.Colors) != cropped.Len() {
+		t.Error("crop lost colors")
+	}
+}
+
+func TestCloudSelect(t *testing.T) {
+	c := coloredCloud(10, 6)
+	s := c.Select([]int{3, 1, 7})
+	if s.Len() != 3 {
+		t.Fatalf("select len = %d", s.Len())
+	}
+	if s.Points[0] != c.Points[3] || s.Points[1] != c.Points[1] || s.Points[2] != c.Points[7] {
+		t.Error("select order wrong")
+	}
+	if s.Colors[0] != c.Colors[3] {
+		t.Error("select lost attributes")
+	}
+}
+
+func TestColorGray(t *testing.T) {
+	if g := (Color{R: 255, G: 255, B: 255}).Gray(); math.Abs(g-255) > 0.01 {
+		t.Errorf("white gray = %v", g)
+	}
+	if g := (Color{}).Gray(); g != 0 {
+		t.Errorf("black gray = %v", g)
+	}
+}

@@ -1,0 +1,152 @@
+package pointcloud
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"qarv/internal/geom"
+)
+
+// bruteNearest is the reference implementation the index is checked against.
+func bruteNearest(c *Cloud, q geom.Vec3, exclude int) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	for i, p := range c.Points {
+		if i == exclude {
+			continue
+		}
+		if d2 := q.Dist2(p); d2 < bestD2 {
+			bestD2 = d2
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, -1
+	}
+	return best, bestD2
+}
+
+func bruteKNN(c *Cloud, q geom.Vec3, k int) []Neighbor {
+	all := make([]Neighbor, 0, c.Len())
+	for i, p := range c.Points {
+		all = append(all, Neighbor{Index: i, Dist2: q.Dist2(p)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Dist2 < all[j].Dist2 })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestGridIndexNearestMatchesBruteForce(t *testing.T) {
+	c := cubeCloud(500, 21)
+	idx := NewGridIndex(c, 0)
+	rng := geom.NewRNG(22)
+	for n := 0; n < 100; n++ {
+		q := geom.V(rng.Range(-0.2, 1.2), rng.Range(-0.2, 1.2), rng.Range(-0.2, 1.2))
+		gotI, gotD2 := idx.Nearest(q)
+		wantI, wantD2 := bruteNearest(c, q, -1)
+		if gotI != wantI || math.Abs(gotD2-wantD2) > 1e-12 {
+			t.Fatalf("query %v: got (%d, %v), want (%d, %v)", q, gotI, gotD2, wantI, wantD2)
+		}
+	}
+}
+
+func TestGridIndexNearestExcluding(t *testing.T) {
+	c := cubeCloud(200, 23)
+	idx := NewGridIndex(c, 0)
+	for i := 0; i < 50; i++ {
+		gotI, gotD2 := idx.NearestExcluding(c.Points[i], i)
+		wantI, wantD2 := bruteNearest(c, c.Points[i], i)
+		if gotI != wantI || math.Abs(gotD2-wantD2) > 1e-12 {
+			t.Fatalf("self-query %d: got (%d, %v), want (%d, %v)", i, gotI, gotD2, wantI, wantD2)
+		}
+		if gotI == i {
+			t.Fatal("excluded point returned")
+		}
+	}
+}
+
+func TestGridIndexKNearestMatchesBruteForce(t *testing.T) {
+	c := cubeCloud(300, 24)
+	idx := NewGridIndex(c, 0)
+	rng := geom.NewRNG(25)
+	for n := 0; n < 50; n++ {
+		q := geom.V(rng.Float64(), rng.Float64(), rng.Float64())
+		for _, k := range []int{1, 4, 16} {
+			got := idx.KNearest(q, k)
+			want := bruteKNN(c, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				// Indices can differ under distance ties; distances must match.
+				if math.Abs(got[i].Dist2-want[i].Dist2) > 1e-12 {
+					t.Fatalf("k=%d rank %d: dist %v, want %v", k, i, got[i].Dist2, want[i].Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestGridIndexKNearestSortedAscending(t *testing.T) {
+	c := cubeCloud(200, 26)
+	idx := NewGridIndex(c, 0)
+	res := idx.KNearest(geom.V(0.5, 0.5, 0.5), 20)
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist2 < res[i-1].Dist2 {
+			t.Fatal("KNearest results not sorted")
+		}
+	}
+}
+
+func TestGridIndexKNearestDegenerate(t *testing.T) {
+	c := cubeCloud(5, 27)
+	idx := NewGridIndex(c, 0)
+	if got := idx.KNearest(geom.V(0, 0, 0), 0); got != nil {
+		t.Error("k=0 must return nil")
+	}
+	if got := idx.KNearest(geom.V(0, 0, 0), 10); len(got) != 5 {
+		t.Errorf("k>n must return n results, got %d", len(got))
+	}
+	empty := NewGridIndex(&Cloud{}, 0)
+	if i, d := empty.Nearest(geom.V(0, 0, 0)); i != -1 || d != -1 {
+		t.Error("empty index nearest must be (-1,-1)")
+	}
+}
+
+func TestGridIndexRadius(t *testing.T) {
+	// Lattice cloud: a radius-1.01 ball around an interior point catches
+	// itself plus its 6 axis neighbours.
+	c := &Cloud{}
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			for z := 0; z < 5; z++ {
+				c.Append(geom.V(float64(x), float64(y), float64(z)), nil, nil)
+			}
+		}
+	}
+	idx := NewGridIndex(c, 0)
+	got := idx.Radius(geom.V(2, 2, 2), 1.01)
+	if len(got) != 7 {
+		t.Fatalf("radius query found %d points, want 7", len(got))
+	}
+	if idx.Radius(geom.V(2, 2, 2), -1) != nil {
+		t.Error("negative radius must return nil")
+	}
+}
+
+func TestGridIndexExplicitCellSize(t *testing.T) {
+	c := cubeCloud(100, 28)
+	idx := NewGridIndex(c, 0.05)
+	if idx.CellSize() != 0.05 {
+		t.Errorf("cell size = %v", idx.CellSize())
+	}
+	// Queries must still be exact with a forced small cell size.
+	q := geom.V(0.3, 0.3, 0.3)
+	gotI, _ := idx.Nearest(q)
+	wantI, _ := bruteNearest(c, q, -1)
+	if gotI != wantI {
+		t.Errorf("nearest with tiny cells = %d, want %d", gotI, wantI)
+	}
+}

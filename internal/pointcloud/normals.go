@@ -1,0 +1,117 @@
+package pointcloud
+
+import (
+	"math"
+
+	"qarv/internal/geom"
+)
+
+// EstimateNormals computes per-point normals by PCA over the k nearest
+// neighbours: the normal is the eigenvector of the local covariance with
+// the smallest eigenvalue. Normals are oriented to face the given viewpoint
+// (pass the camera or cloud exterior); this mirrors Open3D's
+// estimate_normals + orient_normals_towards_camera_location.
+func (c *Cloud) EstimateNormals(k int, viewpoint geom.Vec3) {
+	n := c.Len()
+	if n == 0 {
+		return
+	}
+	if k < 3 {
+		k = 3
+	}
+	idx := NewGridIndex(c, 0)
+	normals := make([]geom.Vec3, n)
+	for i, p := range c.Points {
+		neigh := idx.KNearest(p, k)
+		normal := planeNormal(c, neigh)
+		// Orient toward the viewpoint.
+		if normal.Dot(viewpoint.Sub(p)) < 0 {
+			normal = normal.Scale(-1)
+		}
+		normals[i] = normal
+	}
+	c.Normals = normals
+}
+
+// planeNormal fits a plane to the neighbourhood and returns its unit normal.
+func planeNormal(c *Cloud, neigh []Neighbor) geom.Vec3 {
+	if len(neigh) < 3 {
+		return geom.V(0, 0, 1)
+	}
+	var centroid geom.Vec3
+	for _, nb := range neigh {
+		centroid = centroid.Add(c.Points[nb.Index])
+	}
+	centroid = centroid.Scale(1 / float64(len(neigh)))
+	var cov covariance3
+	for _, nb := range neigh {
+		d := c.Points[nb.Index].Sub(centroid)
+		cov.xx += d.X * d.X
+		cov.xy += d.X * d.Y
+		cov.xz += d.X * d.Z
+		cov.yy += d.Y * d.Y
+		cov.yz += d.Y * d.Z
+		cov.zz += d.Z * d.Z
+	}
+	return cov.smallestEigenvector()
+}
+
+// covariance3 is a symmetric 3×3 matrix (upper triangle stored).
+type covariance3 struct {
+	xx, xy, xz, yy, yz, zz float64
+}
+
+// smallestEigenvector returns the unit eigenvector of the smallest
+// eigenvalue via Jacobi rotations; robust for the small symmetric matrices
+// of normal estimation.
+func (m covariance3) smallestEigenvector() geom.Vec3 {
+	a := [3][3]float64{
+		{m.xx, m.xy, m.xz},
+		{m.xy, m.yy, m.yz},
+		{m.xz, m.yz, m.zz},
+	}
+	v := [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for sweep := 0; sweep < 32; sweep++ {
+		// Largest off-diagonal element.
+		p, q := 0, 1
+		if math.Abs(a[0][2]) > math.Abs(a[p][q]) {
+			p, q = 0, 2
+		}
+		if math.Abs(a[1][2]) > math.Abs(a[p][q]) {
+			p, q = 1, 2
+		}
+		if math.Abs(a[p][q]) < 1e-15 {
+			break
+		}
+		// Jacobi rotation annihilating a[p][q].
+		theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+		t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+		cth := 1 / math.Sqrt(t*t+1)
+		sth := t * cth
+		rotate := func(mref *[3][3]float64) {
+			mm := *mref
+			for i := 0; i < 3; i++ {
+				mp, mq := mm[i][p], mm[i][q]
+				mm[i][p] = cth*mp - sth*mq
+				mm[i][q] = sth*mp + cth*mq
+			}
+			*mref = mm
+		}
+		rotate(&a)
+		// Rows of a.
+		for i := 0; i < 3; i++ {
+			ap, aq := a[p][i], a[q][i]
+			a[p][i] = cth*ap - sth*aq
+			a[q][i] = sth*ap + cth*aq
+		}
+		rotate(&v)
+	}
+	// Pick the column with the smallest eigenvalue (diagonal of a).
+	best := 0
+	for i := 1; i < 3; i++ {
+		if a[i][i] < a[best][best] {
+			best = i
+		}
+	}
+	return geom.V(v[0][best], v[1][best], v[2][best]).Normalized()
+}

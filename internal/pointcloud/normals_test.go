@@ -1,0 +1,79 @@
+package pointcloud
+
+import (
+	"math"
+	"testing"
+
+	"qarv/internal/geom"
+)
+
+func TestEstimateNormalsPlane(t *testing.T) {
+	// Points on the z=0 plane must get normals ±z, oriented toward the
+	// viewpoint above the plane.
+	c := &Cloud{}
+	rng := geom.NewRNG(31)
+	for i := 0; i < 400; i++ {
+		c.Append(geom.V(rng.Float64(), rng.Float64(), 0), nil, nil)
+	}
+	c.EstimateNormals(12, geom.V(0.5, 0.5, 10))
+	if !c.HasNormals() {
+		t.Fatal("no normals computed")
+	}
+	for i, n := range c.Normals {
+		if math.Abs(n.Norm()-1) > 1e-9 {
+			t.Fatalf("normal %d not unit: %v", i, n)
+		}
+		if n.Z < 0.99 {
+			t.Fatalf("normal %d = %v, want ~+z", i, n)
+		}
+	}
+}
+
+func TestEstimateNormalsSphereOrientation(t *testing.T) {
+	// Points on a sphere with the viewpoint at the center: normals must
+	// point inward (toward the center), i.e. opposite the radial direction.
+	c := &Cloud{}
+	rng := geom.NewRNG(32)
+	for i := 0; i < 500; i++ {
+		c.Append(rng.UnitSphere().Scale(2), nil, nil)
+	}
+	c.EstimateNormals(10, geom.Vec3{})
+	inward := 0
+	for i, p := range c.Points {
+		if c.Normals[i].Dot(p) < 0 {
+			inward++
+		}
+	}
+	if inward < 490 {
+		t.Errorf("only %d/500 normals oriented toward viewpoint", inward)
+	}
+}
+
+func TestEstimateNormalsEmptyAndTiny(t *testing.T) {
+	empty := &Cloud{}
+	empty.EstimateNormals(10, geom.Vec3{})
+	if empty.HasNormals() {
+		t.Error("empty cloud must not grow normals")
+	}
+	tiny := cubeCloud(2, 33)
+	tiny.EstimateNormals(10, geom.Vec3{})
+	if len(tiny.Normals) != 2 {
+		t.Error("tiny cloud must still get placeholder normals")
+	}
+}
+
+func TestSmallestEigenvectorKnownMatrix(t *testing.T) {
+	// Diagonal covariance diag(4, 9, 1): smallest eigenvalue 1 -> z axis.
+	m := covariance3{xx: 4, yy: 9, zz: 1}
+	v := m.smallestEigenvector()
+	if math.Abs(math.Abs(v.Z)-1) > 1e-9 {
+		t.Errorf("smallest eigenvector = %v, want ±z", v)
+	}
+	// Rotated case: covariance of points spread in x+y has smallest
+	// eigenvector perpendicular to the spread plane.
+	m2 := covariance3{xx: 5, xy: 3, yy: 5, zz: 0.1}
+	v2 := m2.smallestEigenvector()
+	if math.Abs(math.Abs(v2.Z)-1) > 1e-6 {
+		t.Errorf("eigenvector = %v, want ±z", v2)
+	}
+}

@@ -1,0 +1,134 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+
+	"qarv/internal/delay"
+	"qarv/internal/geom"
+)
+
+var testDepths = []int{7, 5, 10, 6, 9, 8} // deliberately unsorted
+
+func TestMaxMinDepth(t *testing.T) {
+	max, err := NewMaxDepth(testDepths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := NewMinDepth(testDepths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 1e3, 1e9} {
+		if max.Decide(0, q) != 10 {
+			t.Errorf("max at Q=%v: %d", q, max.Decide(0, q))
+		}
+		if min.Decide(0, q) != 5 {
+			t.Errorf("min at Q=%v: %d", q, min.Decide(0, q))
+		}
+	}
+	if max.Name() != "only max-Depth" || min.Name() != "only min-Depth" {
+		t.Error("baseline names must match the paper's labels")
+	}
+	if _, err := NewMaxDepth(nil); !errors.Is(err, ErrNoDepths) {
+		t.Errorf("empty set: %v", err)
+	}
+	if _, err := NewMinDepth(nil); !errors.Is(err, ErrNoDepths) {
+		t.Errorf("empty set: %v", err)
+	}
+}
+
+func TestFixedDepth(t *testing.T) {
+	p := &FixedDepth{Depth: 8}
+	if p.Decide(5, 1e6) != 8 {
+		t.Error("fixed depth must ignore inputs")
+	}
+	if p.Name() != "fixed-depth(8)" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestRandomStaysInSet(t *testing.T) {
+	p, err := NewRandom(testDepths, geom.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[int]bool{5: true, 6: true, 7: true, 8: true, 9: true, 10: true}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		d := p.Decide(i, 0)
+		if !valid[d] {
+			t.Fatalf("random produced %d outside the set", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("random hit only %d depths in 1000 draws", len(seen))
+	}
+	nilRNG, err := NewRandom(testDepths, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nilRNG.Decide(0, 0) != 5 {
+		t.Error("nil-RNG random must degrade to the first depth")
+	}
+}
+
+func TestThresholdHysteresis(t *testing.T) {
+	p, err := NewThreshold(testDepths, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts deep; low backlog holds (already at top).
+	if d := p.Decide(0, 50); d != 10 {
+		t.Errorf("initial = %d", d)
+	}
+	// High backlog steps down one per slot.
+	if d := p.Decide(1, 5000); d != 9 {
+		t.Errorf("step down = %d", d)
+	}
+	if d := p.Decide(2, 5000); d != 8 {
+		t.Errorf("step down 2 = %d", d)
+	}
+	// Mid-band holds.
+	if d := p.Decide(3, 500); d != 8 {
+		t.Errorf("hold = %d", d)
+	}
+	// Low backlog steps back up.
+	if d := p.Decide(4, 10); d != 9 {
+		t.Errorf("step up = %d", d)
+	}
+	// Bounded at the extremes.
+	for i := 0; i < 20; i++ {
+		p.Decide(5+i, 1e9)
+	}
+	if d := p.Decide(100, 1e9); d != 5 {
+		t.Errorf("floor = %d", d)
+	}
+	if _, err := NewThreshold(testDepths, 10, 10); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("bad watermarks: %v", err)
+	}
+}
+
+func TestBestFixed(t *testing.T) {
+	profile := []int{1, 10, 100, 1000, 10000, 20000, 40000, 80000, 160000, 320000, 640000}
+	cost, err := delay.NewPointCostModel(profile, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service 50k: depths up to 6 (40k) are stable, 7 (80k) is not.
+	p, err := BestFixed(testDepths, cost, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth != 6 {
+		t.Errorf("best fixed = %d, want 6", p.Depth)
+	}
+	// Service below the cheapest candidate: nothing stabilizable.
+	if _, err := BestFixed(testDepths, cost, 1); !errors.Is(err, ErrNoStable) {
+		t.Errorf("no stable depth: %v", err)
+	}
+	if _, err := BestFixed(nil, cost, 50000); !errors.Is(err, ErrNoDepths) {
+		t.Errorf("empty set: %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qarv/internal/geom"
+)
+
+func TestBacklogLindleyRecursion(t *testing.T) {
+	var b Backlog
+	if b.Level() != 0 {
+		t.Fatal("zero value must start empty")
+	}
+	b.Step(10, 3) // 10 in, 3 out
+	if b.Level() != 7 {
+		t.Errorf("level = %v, want 7", b.Level())
+	}
+	b.Step(0, 100) // drain fully; never negative
+	if b.Level() != 0 {
+		t.Errorf("level = %v, want 0", b.Level())
+	}
+	served := b.Step(5, 2)
+	if served != 2 || b.Level() != 3 {
+		t.Errorf("served %v level %v", served, b.Level())
+	}
+}
+
+func TestBacklogNegativeInputsClamp(t *testing.T) {
+	var b Backlog
+	b.Step(-5, -5)
+	if b.Level() != 0 || b.TotalArrived() != 0 {
+		t.Error("negative inputs must be treated as zero")
+	}
+}
+
+func TestBacklogConservationProperty(t *testing.T) {
+	// Property: arrived − served − level == 0 under any workload.
+	f := func(seed uint64) bool {
+		rng := geom.NewRNG(seed)
+		var b Backlog
+		for i := 0; i < 300; i++ {
+			b.Step(rng.Range(0, 100), rng.Range(0, 90))
+			if b.ConservationError() > 1e-6 {
+				return false
+			}
+			if b.Level() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedBacklogDrops(t *testing.T) {
+	b := NewBoundedBacklog(100)
+	b.Step(80, 0)
+	if b.TotalDropped() != 0 {
+		t.Error("no drop below the bound")
+	}
+	b.Step(50, 0) // only 20 fits
+	if b.Level() != 100 {
+		t.Errorf("level = %v, want 100", b.Level())
+	}
+	if b.TotalDropped() != 30 {
+		t.Errorf("dropped = %v, want 30", b.TotalDropped())
+	}
+	if b.ConservationError() > 1e-9 {
+		t.Error("conservation must hold for admitted work")
+	}
+	// Already-full queue drops everything.
+	b.Step(10, 0)
+	if b.TotalDropped() != 40 {
+		t.Errorf("dropped = %v, want 40", b.TotalDropped())
+	}
+}
+
+func TestFrameQueueFIFOAndPartialService(t *testing.T) {
+	var q FrameQueue
+	q.Push(10, 7, 0)
+	q.Push(5, 7, 0)
+	if q.Len() != 2 || q.WorkBacklog() != 15 {
+		t.Fatalf("len %d backlog %v", q.Len(), q.WorkBacklog())
+	}
+	// Capacity 6 partially serves frame 0.
+	done := q.Serve(6, 1)
+	if len(done) != 0 {
+		t.Fatalf("premature completion: %v", done)
+	}
+	if q.WorkBacklog() != 9 {
+		t.Errorf("backlog = %v, want 9", q.WorkBacklog())
+	}
+	// Capacity 9 finishes both.
+	done = q.Serve(9, 3)
+	if len(done) != 2 {
+		t.Fatalf("completed %d frames, want 2", len(done))
+	}
+	if done[0].ID != 0 || done[1].ID != 1 {
+		t.Error("completion order must be FIFO")
+	}
+	if done[0].Sojourn != 3 || done[1].Sojourn != 3 {
+		t.Errorf("sojourns = %d,%d", done[0].Sojourn, done[1].Sojourn)
+	}
+	if q.Len() != 0 || q.WorkBacklog() != 0 {
+		t.Error("queue must be empty")
+	}
+}
+
+func TestFrameQueueOldestAge(t *testing.T) {
+	var q FrameQueue
+	if q.OldestAge(10) != 0 {
+		t.Error("empty queue age must be 0")
+	}
+	q.Push(100, 5, 3)
+	if q.OldestAge(10) != 7 {
+		t.Errorf("age = %d, want 7", q.OldestAge(10))
+	}
+}
+
+func TestFrameQueueMatchesScalarBacklog(t *testing.T) {
+	// Property: driving FrameQueue and Backlog with identical arrivals and
+	// service keeps WorkBacklog == Level.
+	rng := geom.NewRNG(44)
+	var q FrameQueue
+	var b Backlog
+	for slot := 0; slot < 500; slot++ {
+		work := rng.Range(0, 50)
+		q.Push(work, 6, slot)
+		cap := rng.Range(0, 55)
+		q.Serve(cap, slot)
+		b.Step(work, cap)
+		if math.Abs(q.WorkBacklog()-b.Level()) > 1e-6 {
+			t.Fatalf("slot %d: frame backlog %v != scalar %v", slot, q.WorkBacklog(), b.Level())
+		}
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	det := &DeterministicArrivals{PerSlot: 2}
+	if det.Frames(0) != 2 || det.Frames(99) != 2 {
+		t.Error("deterministic arrivals must be constant")
+	}
+	if (&DeterministicArrivals{PerSlot: -1}).Frames(0) != 0 {
+		t.Error("negative per-slot must clamp")
+	}
+
+	pois := &PoissonArrivals{Mean: 3, RNG: geom.NewRNG(7)}
+	sum := 0
+	for i := 0; i < 10000; i++ {
+		sum += pois.Frames(i)
+	}
+	if mean := float64(sum) / 10000; math.Abs(mean-3) > 0.15 {
+		t.Errorf("poisson mean = %v", mean)
+	}
+	if (&PoissonArrivals{Mean: 2.4}).Frames(0) != 2 {
+		t.Error("nil RNG must round the mean")
+	}
+
+	oo := &OnOffArrivals{OnSlots: 3, OffSlots: 2, PerSlotOn: 4}
+	want := []int{4, 4, 4, 0, 0, 4, 4}
+	for i, w := range want {
+		if oo.Frames(i) != w {
+			t.Fatalf("on-off slot %d = %d, want %d", i, oo.Frames(i), w)
+		}
+	}
+	if (&OnOffArrivals{PerSlotOn: 5}).Frames(3) != 5 {
+		t.Error("degenerate on-off period must stay on")
+	}
+}
+
+func TestClassifyTrajectory(t *testing.T) {
+	// Diverging ramp.
+	ramp := make([]float64, 200)
+	for i := range ramp {
+		ramp[i] = float64(i) * 50
+	}
+	v, err := ClassifyTrajectory(ramp, 0)
+	if err != nil || v != VerdictDiverging {
+		t.Errorf("ramp verdict = %v (%v)", v, err)
+	}
+	// Converged to zero after a transient.
+	conv := make([]float64, 200)
+	for i := range conv {
+		if i < 20 {
+			conv[i] = float64(20 - i)
+		}
+	}
+	v, err = ClassifyTrajectory(conv, 0)
+	if err != nil || v != VerdictConverged {
+		t.Errorf("converged verdict = %v (%v)", v, err)
+	}
+	// Stabilized plateau with small oscillation.
+	plat := make([]float64, 200)
+	for i := range plat {
+		plat[i] = 1000 + 30*math.Sin(float64(i)/5)
+	}
+	v, err = ClassifyTrajectory(plat, 0)
+	if err != nil || v != VerdictStabilized {
+		t.Errorf("plateau verdict = %v (%v)", v, err)
+	}
+	// All-zero trajectory converges trivially.
+	v, err = ClassifyTrajectory(make([]float64, 50), 0)
+	if err != nil || v != VerdictConverged {
+		t.Errorf("zero verdict = %v (%v)", v, err)
+	}
+	if _, err := ClassifyTrajectory([]float64{1, 2}, 0); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short input: %v", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictDiverging.String() != "diverging" ||
+		VerdictConverged.String() != "converged" ||
+		VerdictStabilized.String() != "stabilized" ||
+		Verdict(0).String() != "unknown" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func TestLittleEstimator(t *testing.T) {
+	// Deterministic D/D/1: 1 frame/slot of work 1, capacity 1 ⇒ each frame
+	// completes in its arrival slot (sojourn 0), queue empty after service.
+	var q FrameQueue
+	var est LittleEstimator
+	for slot := 0; slot < 100; slot++ {
+		q.Push(1, 5, slot)
+		est.ObserveSlot(float64(q.Len()), 1)
+		for _, c := range q.Serve(1, slot) {
+			est.ObserveCompletion(c.Sojourn)
+		}
+	}
+	if est.Lambda() != 1 {
+		t.Errorf("lambda = %v", est.Lambda())
+	}
+	if est.W() != 0 {
+		t.Errorf("W = %v", est.W())
+	}
+	// Under-loaded stable system: Little's residual small. L counts the
+	// momentary in-service frame (observed before service), W is 0, so the
+	// gap here is the L observation itself — both are ~1 and ~0; verify
+	// law gap on a delayed system instead.
+	var q2 FrameQueue
+	var est2 LittleEstimator
+	for slot := 0; slot < 2000; slot++ {
+		q2.Push(2, 5, slot) // work 2 per slot
+		for _, c := range q2.Serve(2, slot) {
+			est2.ObserveCompletion(c.Sojourn + 1) // count service slot
+		}
+		est2.ObserveSlot(q2.WorkBacklog()/2+1, 1) // avg frames incl. in-service
+	}
+	if gap := est2.LawGap(); gap > 0.1 {
+		t.Errorf("Little's law gap = %v", gap)
+	}
+	var empty LittleEstimator
+	if empty.L() != 0 || empty.Lambda() != 0 || empty.W() != 0 {
+		t.Error("empty estimator must report zeros")
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"qarv/internal/delay"
+	"qarv/internal/policy"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+)
+
+// The multi-device simulation backs the paper's "fully distributed" claim
+// (§II): N devices each run their own controller on purely local state
+// (their own backlog), while sharing an edge server's service budget. No
+// device sees another's queue — if the system still stabilizes, the
+// distributed claim holds under contention.
+
+// Device describes one AR client in a multi-device run.
+type Device struct {
+	// Policy is the device's local depth controller.
+	Policy policy.Policy
+	// Cost maps its depth choices to workload (devices may differ, e.g.
+	// different capture resolutions).
+	Cost delay.CostModel
+	// Utility scores its depth choices.
+	Utility quality.UtilityModel
+	// Arrivals yields its frames per slot.
+	Arrivals queueing.ArrivalProcess
+}
+
+// MultiConfig describes a shared-service multi-device run.
+type MultiConfig struct {
+	Devices []Device
+	// Service is the shared edge budget per slot, divided equally among
+	// devices (an uncoordinated, information-free split: each device gets
+	// budget/N regardless of backlogs, preserving full distribution).
+	Service delay.ServiceProcess
+	Slots   int
+}
+
+// Multi-device validation errors.
+var (
+	ErrNoDevices = errors.New("sim: no devices")
+)
+
+// MultiResult aggregates per-device results of a shared run.
+type MultiResult struct {
+	PerDevice []*Result
+	// TotalTimeAvgBacklog sums devices' time-average backlogs.
+	TotalTimeAvgBacklog float64
+	// MeanTimeAvgUtility averages devices' time-average utilities.
+	MeanTimeAvgUtility float64
+}
+
+// RunMulti executes N devices against an equally split shared service.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) {
+	if len(cfg.Devices) == 0 {
+		return nil, ErrNoDevices
+	}
+	if cfg.Service == nil {
+		return nil, ErrNilService
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSlots, cfg.Slots)
+	}
+	n := len(cfg.Devices)
+	results := make([]*Result, n)
+	backlogs := make([]*queueing.Backlog, n)
+	for i, dev := range cfg.Devices {
+		if dev.Policy == nil {
+			return nil, fmt.Errorf("device %d: %w", i, ErrNilPolicy)
+		}
+		if dev.Cost == nil {
+			return nil, fmt.Errorf("device %d: %w", i, ErrNilCost)
+		}
+		if dev.Utility == nil {
+			return nil, fmt.Errorf("device %d: %w", i, ErrNilUtility)
+		}
+		if dev.Arrivals == nil {
+			return nil, fmt.Errorf("device %d: %w", i, ErrNilArrivals)
+		}
+		results[i] = &Result{
+			PolicyName: dev.Policy.Name(),
+			Backlog:    make([]float64, cfg.Slots),
+			Depth:      make([]int, cfg.Slots),
+			Arrived:    make([]float64, cfg.Slots),
+			Served:     make([]float64, cfg.Slots),
+			Utility:    make([]float64, cfg.Slots),
+		}
+		backlogs[i] = &queueing.Backlog{}
+	}
+
+	utilSums := make([]float64, n)
+	backlogSums := make([]float64, n)
+	for t := 0; t < cfg.Slots; t++ {
+		share := cfg.Service.Service(t) / float64(n)
+		for i, dev := range cfg.Devices {
+			q := backlogs[i].Level()
+			res := results[i]
+			res.Backlog[t] = q
+			backlogSums[i] += q
+			if q > res.MaxBacklog {
+				res.MaxBacklog = q
+			}
+
+			d := dev.Policy.Decide(t, q)
+			res.Depth[t] = d
+			u := dev.Utility.Utility(d)
+			res.Utility[t] = u
+			utilSums[i] += u
+
+			var work float64
+			for f := 0; f < dev.Arrivals.Frames(t); f++ {
+				work += dev.Cost.FrameCost(d)
+			}
+			res.Arrived[t] = work
+			res.Served[t] = backlogs[i].Step(work, share)
+		}
+	}
+
+	out := &MultiResult{PerDevice: results}
+	for i, res := range results {
+		res.FinalBacklog = backlogs[i].Level()
+		res.TimeAvgUtility = utilSums[i] / float64(cfg.Slots)
+		res.TimeAvgBacklog = backlogSums[i] / float64(cfg.Slots)
+		out.TotalTimeAvgBacklog += res.TimeAvgBacklog
+		out.MeanTimeAvgUtility += res.TimeAvgUtility
+	}
+	out.MeanTimeAvgUtility /= float64(n)
+	return out, nil
+}

@@ -1,0 +1,186 @@
+// Package sim runs the slotted AR-visualization simulation that couples a
+// depth-selection policy, a frame arrival process, the depth→workload cost
+// model, and the device's service process — the experiment engine behind
+// Fig. 2 and every ablation. One slot is the paper's "unit time": frames
+// arrive, the policy picks an Octree depth from the observed backlog, the
+// chosen depth's workload joins the queue, and the device serves what it
+// can.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"qarv/internal/delay"
+	"qarv/internal/policy"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Policy picks the depth each slot.
+	Policy policy.Policy
+	// Arrivals yields frames per slot (the paper uses one frame per slot).
+	Arrivals queueing.ArrivalProcess
+	// Cost maps the chosen depth to per-frame workload a(d).
+	Cost delay.CostModel
+	// Utility scores the chosen depth pa(d) for the objective (1).
+	Utility quality.UtilityModel
+	// Service yields per-slot capacity b(t).
+	Service delay.ServiceProcess
+	// Slots is the horizon T.
+	Slots int
+	// MaxBacklog, when positive, bounds the queue (overflow drops work).
+	MaxBacklog float64
+}
+
+// Config validation errors.
+var (
+	ErrNilPolicy   = errors.New("sim: nil policy")
+	ErrNilArrivals = errors.New("sim: nil arrival process")
+	ErrNilCost     = errors.New("sim: nil cost model")
+	ErrNilUtility  = errors.New("sim: nil utility model")
+	ErrNilService  = errors.New("sim: nil service process")
+	ErrBadSlots    = errors.New("sim: slot count must be positive")
+)
+
+func (c *Config) validate() error {
+	switch {
+	case c.Policy == nil:
+		return ErrNilPolicy
+	case c.Arrivals == nil:
+		return ErrNilArrivals
+	case c.Cost == nil:
+		return ErrNilCost
+	case c.Utility == nil:
+		return ErrNilUtility
+	case c.Service == nil:
+		return ErrNilService
+	case c.Slots <= 0:
+		return fmt.Errorf("%w: %d", ErrBadSlots, c.Slots)
+	}
+	return nil
+}
+
+// Result holds the full trajectory of one run plus summary statistics.
+type Result struct {
+	PolicyName string
+
+	// Per-slot series, each of length Slots.
+	Backlog []float64 // Q(t) observed at the start of slot t
+	Depth   []int     // d(t) chosen in slot t
+	Arrived []float64 // work enqueued in slot t
+	Served  []float64 // work served in slot t
+	Utility []float64 // pa(d(t))
+
+	// Frame accounting.
+	Completed   []queueing.Completed
+	DroppedWork float64
+	MeanSojourn float64
+	Little      queueing.LittleEstimator
+
+	// Summaries of the objective and constraint.
+	TimeAvgUtility float64 // (1/T)·Σ pa(d(τ)) — objective (1)
+	TimeAvgBacklog float64 // (1/T)·Σ Q(τ)   — constraint (2)
+	FinalBacklog   float64
+	MaxBacklog     float64
+}
+
+// Verdict classifies the backlog trajectory per Fig. 2(a).
+func (r *Result) Verdict() (queueing.Verdict, error) {
+	return queueing.ClassifyTrajectory(r.Backlog, 0)
+}
+
+// DepthHistogram counts slots per chosen depth.
+func (r *Result) DepthHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, d := range r.Depth {
+		h[d]++
+	}
+	return h
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PolicyName: cfg.Policy.Name(),
+		Backlog:    make([]float64, cfg.Slots),
+		Depth:      make([]int, cfg.Slots),
+		Arrived:    make([]float64, cfg.Slots),
+		Served:     make([]float64, cfg.Slots),
+		Utility:    make([]float64, cfg.Slots),
+	}
+	backlog := queueing.NewBoundedBacklog(cfg.MaxBacklog)
+	var frames queueing.FrameQueue
+
+	var utilSum, backlogSum float64
+	for t := 0; t < cfg.Slots; t++ {
+		q := backlog.Level() // line 4 of Algorithm 1: observe Q(t)
+		res.Backlog[t] = q
+		backlogSum += q
+		if q > res.MaxBacklog {
+			res.MaxBacklog = q
+		}
+
+		d := cfg.Policy.Decide(t, q) // lines 5–11: closed-form decision
+		res.Depth[t] = d
+		u := cfg.Utility.Utility(d)
+		res.Utility[t] = u
+		utilSum += u
+
+		// Arrivals at the chosen depth.
+		n := cfg.Arrivals.Frames(t)
+		var work float64
+		for i := 0; i < n; i++ {
+			w := cfg.Cost.FrameCost(d)
+			work += w
+			frames.Push(w, d, t)
+		}
+		res.Arrived[t] = work
+
+		// Service.
+		capacity := cfg.Service.Service(t)
+		served := backlog.Step(work, capacity)
+		res.Served[t] = served
+		for _, c := range frames.Serve(served, t) {
+			res.Completed = append(res.Completed, c)
+			res.Little.ObserveCompletion(c.Sojourn)
+		}
+		// Sample the queue at end of slot so L and W use the same clock
+		// (a frame completing in its arrival slot contributes 0 to both).
+		res.Little.ObserveSlot(float64(frames.Len()), n)
+	}
+
+	res.DroppedWork = backlog.TotalDropped()
+	res.FinalBacklog = backlog.Level()
+	res.TimeAvgUtility = utilSum / float64(cfg.Slots)
+	res.TimeAvgBacklog = backlogSum / float64(cfg.Slots)
+	if len(res.Completed) > 0 {
+		var s float64
+		for _, c := range res.Completed {
+			s += float64(c.Sojourn)
+		}
+		res.MeanSojourn = s / float64(len(res.Completed))
+	}
+	return res, nil
+}
+
+// Compare runs the same scenario under several policies (fresh queues
+// each) and returns results keyed by the order given.
+func Compare(base Config, policies []policy.Policy) ([]*Result, error) {
+	out := make([]*Result, 0, len(policies))
+	for _, p := range policies {
+		cfg := base
+		cfg.Policy = p
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is the device side: it ships frames and tracks the number of
+// unacknowledged bytes in flight — the live uplink backlog Q(t) the
+// depth controller observes. All state is local to the device, matching
+// the paper's distributed-operation claim.
+type Client struct {
+	conn net.Conn
+
+	mu          sync.Mutex
+	sentBytes   uint64
+	ackedBytes  uint64
+	sentFrames  int
+	ackedFrames int
+	latencies   []time.Duration
+	sendTimes   map[uint32]time.Time
+	readErr     error
+
+	done chan struct{}
+}
+
+// Dial connects to an edge server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	c := &Client{
+		conn:      conn,
+		sendTimes: make(map[uint32]time.Time),
+		done:      make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop consumes acknowledgements until the connection closes.
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		_, ack, err := ReadMessage(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		if ack == nil {
+			continue
+		}
+		c.mu.Lock()
+		c.ackedFrames++
+		c.ackedBytes = ack.ServedBytes
+		if sent, ok := c.sendTimes[ack.FrameID]; ok {
+			c.latencies = append(c.latencies, time.Since(sent))
+			delete(c.sendTimes, ack.FrameID)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// SendFrame ships one frame. It returns immediately after the write; the
+// acknowledgement arrives asynchronously.
+func (c *Client) SendFrame(f Frame) error {
+	c.mu.Lock()
+	if err := c.readErr; err != nil && !errors.Is(err, net.ErrClosed) {
+		c.mu.Unlock()
+		return fmt.Errorf("stream: session broken: %w", err)
+	}
+	c.sendTimes[f.ID] = time.Now()
+	c.sentFrames++
+	c.sentBytes += uint64(len(f.Payload))
+	c.mu.Unlock()
+	return WriteFrame(c.conn, f)
+}
+
+// BacklogBytes returns the bytes sent but not yet acknowledged — the
+// device's local view of the uplink/service queue.
+func (c *Client) BacklogBytes() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sentBytes < c.ackedBytes {
+		return 0
+	}
+	return float64(c.sentBytes - c.ackedBytes)
+}
+
+// Stats summarizes the session so far.
+type ClientStats struct {
+	SentFrames  int
+	AckedFrames int
+	SentBytes   uint64
+	AckedBytes  uint64
+	// MeanLatency is the average send→ack round trip.
+	MeanLatency time.Duration
+	// MaxLatency is the worst round trip.
+	MaxLatency time.Duration
+}
+
+// Stats returns a snapshot of the session counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClientStats{
+		SentFrames:  c.sentFrames,
+		AckedFrames: c.ackedFrames,
+		SentBytes:   c.sentBytes,
+		AckedBytes:  c.ackedBytes,
+	}
+	var sum time.Duration
+	for _, l := range c.latencies {
+		sum += l
+		if l > st.MaxLatency {
+			st.MaxLatency = l
+		}
+	}
+	if len(c.latencies) > 0 {
+		st.MeanLatency = sum / time.Duration(len(c.latencies))
+	}
+	return st
+}
+
+// WaitForAcks blocks until all sent frames are acknowledged or the
+// timeout expires; it reports whether the session fully drained.
+func (c *Client) WaitForAcks(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		drained := c.ackedFrames >= c.sentFrames
+		c.mu.Unlock()
+		if drained {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// Close shuts the connection down and waits for the reader to exit.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qarv/internal/octree"
+)
+
+// ServerConfig controls the edge renderer.
+type ServerConfig struct {
+	// BytesPerSecond caps the server's processing throughput; the server
+	// paces acknowledgements so a device sending faster than this builds
+	// an uplink backlog. 0 = unpaced (acks immediately).
+	BytesPerSecond float64
+	// Validate decodes every received stream and rejects corrupt frames.
+	Validate bool
+}
+
+// Server is the edge-side receiver: it accepts device connections, paces
+// frame processing at the configured throughput, and acknowledges each
+// frame with the cumulative processed byte count.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu          sync.Mutex
+	framesSeen  int
+	bytesSeen   uint64
+	corruptSeen int
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen: %w", err)
+	}
+	s := &Server{cfg: cfg, ln: ln, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats reports cumulative counters.
+func (s *Server) Stats() (frames int, bytes uint64, corrupt int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.framesSeen, s.bytesSeen, s.corruptSeen
+}
+
+// Close stops accepting, closes the listener, and waits for all
+// connection handlers to drain.
+func (s *Server) Close() error {
+	close(s.stop)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle processes one device connection until EOF or shutdown.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	// Unblock blocked reads on shutdown.
+	done := make(chan struct{})
+	defer close(done)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-s.stop:
+			conn.SetDeadline(time.Now())
+		case <-done:
+		}
+	}()
+
+	var served uint64
+	var debt time.Duration // processing time owed by pacing
+	lastPace := time.Now()
+	for {
+		frame, _, err := ReadMessage(conn)
+		if err != nil {
+			return // EOF, deadline, or protocol error: drop the session
+		}
+		if frame == nil {
+			continue // acks from a confused peer are ignored
+		}
+		if s.cfg.Validate {
+			if _, err := octree.DeserializeWithColorsBytes(frame.Payload); err != nil {
+				s.mu.Lock()
+				s.corruptSeen++
+				s.mu.Unlock()
+				continue // corrupt frames are dropped, not acked
+			}
+		}
+		// Pace processing at BytesPerSecond: accumulate owed time and
+		// sleep it off, so acknowledgements reflect real service capacity.
+		if s.cfg.BytesPerSecond > 0 {
+			debt += time.Duration(float64(len(frame.Payload)) / s.cfg.BytesPerSecond * float64(time.Second))
+			elapsed := time.Since(lastPace)
+			if debt > elapsed {
+				time.Sleep(debt - elapsed)
+			}
+			now := time.Now()
+			debt -= now.Sub(lastPace)
+			if debt < 0 {
+				debt = 0
+			}
+			lastPace = now
+		}
+		served += uint64(len(frame.Payload))
+		s.mu.Lock()
+		s.framesSeen++
+		s.bytesSeen += uint64(len(frame.Payload))
+		s.mu.Unlock()
+		if err := WriteAck(conn, Ack{FrameID: frame.ID, ServedBytes: served}); err != nil {
+			return
+		}
+	}
+}
+
+// ErrServerClosed is reserved for future use by callers distinguishing
+// clean shutdowns.
+var ErrServerClosed = errors.New("stream: server closed")

@@ -1,0 +1,173 @@
+package synthetic
+
+import (
+	"math"
+
+	"qarv/internal/geom"
+	"qarv/internal/pointcloud"
+)
+
+// Region labels a body part for coloring.
+type Region int
+
+// Body regions used by the clothing colorer.
+const (
+	RegionHead Region = iota + 1
+	RegionTorso
+	RegionArms
+	RegionHands
+	RegionLegs
+	RegionFeet
+)
+
+// bodyPart couples a primitive with its region label.
+type bodyPart struct {
+	surf   surface
+	region Region
+}
+
+// Pose parameterizes the body's stance for one frame.
+type Pose struct {
+	// Phase is the gait-cycle phase in [0,1): 0 mid-stance, limbs swing
+	// sinusoidally with opposite arm/leg phases as in a walk.
+	Phase float64
+	// Yaw rotates the whole body around +Y (radians).
+	Yaw float64
+	// Lean tilts the torso forward (radians, small).
+	Lean float64
+}
+
+// WalkPose returns the pose at frame i of an n-frame walking loop.
+func WalkPose(i, n int) Pose {
+	if n <= 0 {
+		n = 1
+	}
+	phase := float64(i%n) / float64(n)
+	return Pose{
+		Phase: phase,
+		Yaw:   0.15 * math.Sin(2*math.Pi*phase), // slight body sway
+		Lean:  0.05,
+	}
+}
+
+// buildBody lays out the primitives of a standing/walking human of the
+// given total height (meters) and build (width multiplier, ~1.0), posed by
+// pose. Coordinates: feet near y=0, +Y up, facing +Z.
+func buildBody(height, build float64, pose Pose) []bodyPart {
+	h := height
+	b := build
+	swing := 0.35 * math.Sin(2*math.Pi*pose.Phase) // leg swing angle driver
+
+	hipY := 0.52 * h
+	shoulderY := 0.815 * h
+	neckY := 0.86 * h
+	headC := geom.V(0, 0.935*h, 0.01*h*pose.Lean*10)
+	headR := geom.V(0.060*h*b, 0.075*h, 0.068*h*b)
+
+	torsoR := 0.110 * h * b
+	hipHalf := 0.085 * h * b
+	shoulderHalf := 0.160 * h * b
+
+	parts := make([]bodyPart, 0, 16)
+	add := func(s surface, r Region) { parts = append(parts, bodyPart{surf: s, region: r}) }
+
+	// Head + neck.
+	add(ellipsoid{c: headC, r: headR}, RegionHead)
+	add(capsule{a: geom.V(0, neckY, 0), b: geom.V(0, headC.Y-headR.Y*0.5, 0), r: 0.030 * h * b}, RegionHead)
+
+	// Torso: hip→shoulder capsule plus a pelvis ellipsoid; lean shifts the
+	// shoulder forward.
+	leanZ := math.Sin(pose.Lean) * (shoulderY - hipY)
+	add(capsule{a: geom.V(0, hipY, 0), b: geom.V(0, shoulderY, leanZ), r: torsoR}, RegionTorso)
+	add(ellipsoid{c: geom.V(0, hipY, 0), r: geom.V(0.14*h*b, 0.06*h, 0.10*h*b)}, RegionTorso)
+	add(ellipsoid{c: geom.V(0, shoulderY, leanZ), r: geom.V(shoulderHalf, 0.045*h, 0.075*h*b)}, RegionTorso)
+
+	// Limbs, mirrored. side = -1 left, +1 right.
+	for _, side := range []float64{-1, 1} {
+		legPhase := swing * side         // legs swing in anti-phase
+		armPhase := -swing * side * 0.75 // arms oppose legs
+
+		// Leg chain: hip → knee → ankle → toe.
+		hip := geom.V(side*hipHalf, hipY, 0)
+		thighLen := 0.24 * h
+		shinLen := 0.23 * h
+		knee := hip.Add(geom.V(0, -thighLen*math.Cos(legPhase), thighLen*math.Sin(legPhase)))
+		// Shin keeps the knee slightly bent during swing.
+		bend := 0.4 * math.Max(0, math.Sin(2*math.Pi*pose.Phase)*side)
+		ankle := knee.Add(geom.V(0, -shinLen*math.Cos(legPhase-bend), shinLen*math.Sin(legPhase-bend)))
+		if ankle.Y < 0.035*h {
+			ankle.Y = 0.035 * h
+		}
+		toe := ankle.Add(geom.V(0, -0.01*h, 0.11*h))
+		add(capsule{a: hip, b: knee, r: 0.055 * h * b}, RegionLegs)
+		add(capsule{a: knee, b: ankle, r: 0.040 * h * b}, RegionLegs)
+		add(capsule{a: ankle, b: toe, r: 0.030 * h * b}, RegionFeet)
+
+		// Arm chain: shoulder → elbow → wrist, plus a hand ellipsoid.
+		shoulder := geom.V(side*shoulderHalf, shoulderY, leanZ)
+		upperLen := 0.16 * h
+		foreLen := 0.15 * h
+		elbow := shoulder.Add(geom.V(side*0.015*h, -upperLen*math.Cos(armPhase), upperLen*math.Sin(armPhase)))
+		wrist := elbow.Add(geom.V(0, -foreLen*math.Cos(armPhase*0.5), foreLen*math.Sin(armPhase*0.5)))
+		add(capsule{a: shoulder, b: elbow, r: 0.033 * h * b}, RegionArms)
+		add(capsule{a: elbow, b: wrist, r: 0.027 * h * b}, RegionArms)
+		add(ellipsoid{c: wrist.Add(geom.V(0, -0.035*h, 0)), r: geom.V(0.022*h, 0.045*h, 0.030*h)}, RegionHands)
+	}
+	return parts
+}
+
+// Wardrobe is the color scheme of a character.
+type Wardrobe struct {
+	Skin  pointcloud.Color
+	Shirt pointcloud.Color
+	Pants pointcloud.Color
+	Shoes pointcloud.Color
+	Hair  pointcloud.Color
+	// Stripe enables a second shirt color in horizontal bands, emulating
+	// patterned garments like the 8i "longdress" dress.
+	Stripe     bool
+	StripeCol  pointcloud.Color
+	StripeFreq float64 // stripes per meter of height
+}
+
+// colorFor picks the wardrobe color for a sampled point, with per-point
+// texture noise so voxels do not collapse to flat color blocks.
+func (w Wardrobe) colorFor(region Region, p geom.Vec3, height float64, rng *geom.RNG) pointcloud.Color {
+	var base pointcloud.Color
+	switch region {
+	case RegionHead:
+		if p.Y > 0.95*height {
+			base = w.Hair
+		} else {
+			base = w.Skin
+		}
+	case RegionTorso, RegionArms:
+		base = w.Shirt
+		if w.Stripe && int(math.Floor(p.Y*w.StripeFreq))%2 == 0 {
+			base = w.StripeCol
+		}
+	case RegionHands:
+		base = w.Skin
+	case RegionLegs:
+		base = w.Pants
+	case RegionFeet:
+		base = w.Shoes
+	default:
+		base = w.Skin
+	}
+	return jitterColor(base, 10, rng)
+}
+
+func jitterColor(c pointcloud.Color, amp int, rng *geom.RNG) pointcloud.Color {
+	j := func(v uint8) uint8 {
+		n := int(v) + rng.Intn(2*amp+1) - amp
+		if n < 0 {
+			n = 0
+		}
+		if n > 255 {
+			n = 255
+		}
+		return uint8(n)
+	}
+	return pointcloud.Color{R: j(c.R), G: j(c.G), B: j(c.B)}
+}

@@ -1,0 +1,345 @@
+// Package qarv is a Go implementation of "Quality-Aware Real-Time
+// Augmented Reality Visualization under Delay Constraints" (Lee, Park,
+// Jung, Kim — IEEE ICDCS 2022): a Lyapunov drift-plus-penalty controller
+// that picks the Octree depth of AR point-cloud frames each time slot,
+// maximizing time-average visualization quality subject to queue
+// stability.
+//
+// The package is a facade over the implementation packages: it re-exports
+// the controller (Eq. (3) of the paper), the baseline policies, the
+// slotted simulator, the octree/point-cloud/PLY substrates, the synthetic
+// 8i-like dataset generator, and the figure-reproduction experiments. The
+// exported names below are the supported public API; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	cloud, _ := qarv.GenerateBody(qarv.BodyConfig{}, qarv.Pose{})
+//	tree, _ := qarv.BuildOctree(cloud, 10)
+//	scn, _ := qarv.NewScenario(qarv.ScenarioParams{})
+//	ctrl, _ := scn.Controller()
+//	depth := ctrl.Decide(0, backlog) // d*(t) = argmax V·pa(d) − Q·a(d)
+package qarv
+
+import (
+	"io"
+
+	"qarv/internal/core"
+	"qarv/internal/delay"
+	"qarv/internal/experiments"
+	"qarv/internal/geom"
+	"qarv/internal/netem"
+	"qarv/internal/octree"
+	"qarv/internal/ply"
+	"qarv/internal/pointcloud"
+	"qarv/internal/policy"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+	"qarv/internal/render"
+	"qarv/internal/sim"
+	"qarv/internal/synthetic"
+	"qarv/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Core controller (the paper's contribution)
+// ---------------------------------------------------------------------------
+
+type (
+	// Controller is the drift-plus-penalty depth controller (Eq. (3)).
+	Controller = core.Controller
+	// ControllerConfig parameterizes NewController.
+	ControllerConfig = core.Config
+	// Decision is a detailed per-slot control decision.
+	Decision = core.Decision
+	// Bounds packages the O(1/V)/O(V) theoretical guarantees.
+	Bounds = core.Bounds
+	// MultiQueueController jointly controls K streams under a shared
+	// budget via a virtual queue.
+	MultiQueueController = core.MultiQueueController
+	// MultiQueueConfig parameterizes NewMultiQueueController.
+	MultiQueueConfig = core.MultiQueueConfig
+	// AutoTuner adapts V online to hold a target backlog.
+	AutoTuner = core.AutoTuner
+)
+
+// NewAutoTuner wraps a controller whose V adapts toward targetBacklog.
+func NewAutoTuner(cfg ControllerConfig, targetBacklog, gain float64, adjustEvery int) (*AutoTuner, error) {
+	return core.NewAutoTuner(cfg, targetBacklog, gain, adjustEvery)
+}
+
+// NewController validates the configuration and builds a controller.
+func NewController(cfg ControllerConfig) (*Controller, error) { return core.New(cfg) }
+
+// CalibrateV picks V so the control knee lands at the given slot (see
+// core.CalibrateV).
+func CalibrateV(kneeSlot, serviceRate float64, cfg ControllerConfig) (float64, error) {
+	return core.CalibrateV(kneeSlot, serviceRate, cfg)
+}
+
+// NewMultiQueueController builds the K-stream shared-budget controller.
+func NewMultiQueueController(cfg MultiQueueConfig) (*MultiQueueController, error) {
+	return core.NewMultiQueue(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+type (
+	// Policy selects a depth per slot from the backlog observation.
+	Policy = policy.Policy
+	// FixedDepth always picks its configured depth.
+	FixedDepth = policy.FixedDepth
+)
+
+// NewMaxDepthPolicy returns the paper's "only max-Depth" baseline.
+func NewMaxDepthPolicy(depths []int) (Policy, error) { return policy.NewMaxDepth(depths) }
+
+// NewMinDepthPolicy returns the paper's "only min-Depth" baseline.
+func NewMinDepthPolicy(depths []int) (Policy, error) { return policy.NewMinDepth(depths) }
+
+// NewThresholdPolicy returns the hysteresis baseline.
+func NewThresholdPolicy(depths []int, low, high float64) (Policy, error) {
+	return policy.NewThreshold(depths, low, high)
+}
+
+// NewRandomPolicy returns the uniform-random baseline.
+func NewRandomPolicy(depths []int, seed uint64) (Policy, error) {
+	return policy.NewRandom(depths, geom.NewRNG(seed))
+}
+
+// BestFixedPolicy returns the offline best fixed-depth oracle for a known
+// service rate.
+func BestFixedPolicy(depths []int, cost CostModel, serviceRate float64) (Policy, error) {
+	return policy.BestFixed(depths, cost, serviceRate)
+}
+
+// ---------------------------------------------------------------------------
+// Quality and delay models
+// ---------------------------------------------------------------------------
+
+type (
+	// UtilityModel maps depth to the quality pa(d).
+	UtilityModel = quality.UtilityModel
+	// GeometryReport summarizes geometric fidelity metrics.
+	GeometryReport = quality.GeometryReport
+	// CostModel maps depth to per-frame workload a(d).
+	CostModel = delay.CostModel
+	// PointCostModel charges work per rendered point.
+	PointCostModel = delay.PointCostModel
+	// ServiceProcess yields per-slot device capacity.
+	ServiceProcess = delay.ServiceProcess
+	// ConstantService is a fixed-capacity service process.
+	ConstantService = delay.ConstantService
+	// NoisyService draws capacity from a truncated Gaussian.
+	NoisyService = delay.NoisyService
+	// ModulatedService scales an inner service by a time factor
+	// (failure injection).
+	ModulatedService = delay.ModulatedService
+	// Calibration is a fitted points→time cost relationship.
+	Calibration = delay.Calibration
+)
+
+// NewRNG returns the deterministic RNG used across the library.
+func NewRNG(seed uint64) *geom.RNG { return geom.NewRNG(seed) }
+
+// NewLogPointUtility builds the default log-points utility model over an
+// octree occupancy profile.
+func NewLogPointUtility(profile []int) (UtilityModel, error) {
+	return quality.NewLogPointUtility(profile)
+}
+
+// NewPointCostModel builds a per-point workload model over an occupancy
+// profile.
+func NewPointCostModel(profile []int, perPoint, perLevel, fixed float64) (*PointCostModel, error) {
+	return delay.NewPointCostModel(profile, perPoint, perLevel, fixed)
+}
+
+// CompareGeometry computes PSNR/Hausdorff fidelity of test against ref.
+func CompareGeometry(ref, test *Cloud) (GeometryReport, error) {
+	return quality.CompareGeometry(ref, test)
+}
+
+// ---------------------------------------------------------------------------
+// Point clouds, octrees, PLY, synthetic dataset
+// ---------------------------------------------------------------------------
+
+type (
+	// Cloud is a point cloud with optional colors and normals.
+	Cloud = pointcloud.Cloud
+	// Color is an 8-bit RGB color.
+	Color = pointcloud.Color
+	// Vec3 is a 3-vector.
+	Vec3 = geom.Vec3
+	// AABB is an axis-aligned bounding box.
+	AABB = geom.AABB
+	// Octree is a depth-controllable octree over a cloud.
+	Octree = octree.Octree
+	// LODMode selects LOD point placement.
+	LODMode = octree.LODMode
+	// Character is a synthetic body preset.
+	Character = synthetic.Character
+	// BodyConfig controls synthetic body generation.
+	BodyConfig = synthetic.Config
+	// Pose is a body stance (gait phase, yaw, lean).
+	Pose = synthetic.Pose
+	// Sequence is an animated multi-frame synthetic capture.
+	Sequence = synthetic.Sequence
+)
+
+// LOD placement modes.
+const (
+	LODCentroid    = octree.LODCentroid
+	LODVoxelCenter = octree.LODVoxelCenter
+)
+
+// BuildOctree constructs an octree of the given max depth over a cloud.
+func BuildOctree(c *Cloud, maxDepth int) (*Octree, error) { return octree.Build(c, maxDepth) }
+
+// GenerateBody produces one synthetic voxelized full-body frame.
+func GenerateBody(cfg BodyConfig, pose Pose) (*Cloud, error) { return synthetic.Generate(cfg, pose) }
+
+// NewSequence returns an n-frame walking capture generator.
+func NewSequence(cfg BodyConfig, frames int) (*Sequence, error) {
+	return synthetic.NewSequence(cfg, frames)
+}
+
+// BodyPresets lists the four 8i-like character presets.
+func BodyPresets() []Character { return synthetic.Presets() }
+
+// CharacterByName returns a preset by name
+// (longdress, loot, redandblack, soldier).
+func CharacterByName(name string) (Character, error) { return synthetic.ByName(name) }
+
+// WritePLY encodes a cloud in the 8i vertex layout.
+// Formats: PLYASCII, PLYBinaryLE, PLYBinaryBE.
+func WritePLY(w io.Writer, c *Cloud, format PLYFormat, comments ...string) error {
+	return ply.WriteCloud(w, c, format, comments...)
+}
+
+// ReadPLY decodes a PLY stream into a cloud.
+func ReadPLY(r io.Reader) (*Cloud, error) { return ply.ReadCloud(r) }
+
+// PLYFormat identifies a PLY body encoding.
+type PLYFormat = ply.Format
+
+// Supported PLY encodings.
+const (
+	PLYASCII    = ply.ASCII
+	PLYBinaryLE = ply.BinaryLittleEndian
+	PLYBinaryBE = ply.BinaryBigEndian
+)
+
+// ---------------------------------------------------------------------------
+// Queueing and simulation
+// ---------------------------------------------------------------------------
+
+type (
+	// Backlog is the Lindley-recursion work queue Q(t).
+	Backlog = queueing.Backlog
+	// ArrivalProcess yields frames per slot.
+	ArrivalProcess = queueing.ArrivalProcess
+	// DeterministicArrivals is the paper's one-frame-per-slot process.
+	DeterministicArrivals = queueing.DeterministicArrivals
+	// PoissonArrivals delivers Poisson-distributed frames per slot.
+	PoissonArrivals = queueing.PoissonArrivals
+	// OnOffArrivals alternates bursts and silence.
+	OnOffArrivals = queueing.OnOffArrivals
+	// FrameQueue is a timestamped FIFO with partial service.
+	FrameQueue = queueing.FrameQueue
+	// Verdict classifies a backlog trajectory.
+	Verdict = queueing.Verdict
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult is a full run trajectory plus summaries.
+	SimResult = sim.Result
+	// Device is one client of a multi-device run.
+	Device = sim.Device
+	// MultiConfig describes a shared-service multi-device run.
+	MultiConfig = sim.MultiConfig
+)
+
+// Trajectory verdicts.
+const (
+	VerdictDiverging  = queueing.VerdictDiverging
+	VerdictConverged  = queueing.VerdictConverged
+	VerdictStabilized = queueing.VerdictStabilized
+)
+
+// RunSim executes one slotted simulation.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RunMulti executes a shared-service multi-device simulation.
+func RunMulti(cfg MultiConfig) (*sim.MultiResult, error) { return sim.RunMulti(cfg) }
+
+// ---------------------------------------------------------------------------
+// Experiments (paper figures + ablations)
+// ---------------------------------------------------------------------------
+
+type (
+	// ScenarioParams controls the calibrated Fig. 2 setup.
+	ScenarioParams = experiments.ScenarioParams
+	// Scenario is the calibrated experimental setup.
+	Scenario = experiments.Scenario
+	// Fig1Row is one depth's Fig. 1 fidelity row.
+	Fig1Row = experiments.Fig1Row
+	// Fig1Config parameterizes the Fig. 1 reproduction.
+	Fig1Config = experiments.Fig1Config
+	// Fig2Result bundles the three compared Fig. 2 runs.
+	Fig2Result = experiments.Fig2Result
+	// OffloadParams controls the edge-offload scenario.
+	OffloadParams = experiments.OffloadParams
+	// OffloadResult is an edge-offload run's trajectory and delivery
+	// statistics.
+	OffloadResult = experiments.OffloadResult
+	// Link is a FIFO uplink with bandwidth/latency/jitter/loss.
+	Link = netem.Link
+	// LinkConfig parameterizes NewLink.
+	LinkConfig = netem.LinkConfig
+	// TokenBucket polices admission at a sustained rate.
+	TokenBucket = netem.TokenBucket
+	// Table is an exportable set of time series (CSV/JSON/ASCII chart).
+	Table = trace.Table
+)
+
+// NewLink builds a network link emulator.
+func NewLink(cfg LinkConfig) (*Link, error) { return netem.NewLink(cfg) }
+
+// Offload runs the edge-offload scenario: octree streams over an emulated
+// uplink, the controller stabilizing the transmit queue.
+func Offload(p OffloadParams) (*OffloadResult, error) { return experiments.Offload(p) }
+
+type (
+	// RenderConfig controls a software splat render pass.
+	RenderConfig = render.Config
+	// RenderCamera is a pinhole camera.
+	RenderCamera = render.Camera
+	// RenderImage is a rendered framebuffer with depth.
+	RenderImage = render.Image
+	// RenderLadderRow is one depth of the view-domain quality ladder.
+	RenderLadderRow = experiments.RenderLadderRow
+	// RenderLadderConfig parameterizes RenderLadder.
+	RenderLadderConfig = experiments.RenderLadderConfig
+)
+
+// RenderCloud splats a point cloud into a framebuffer.
+func RenderCloud(c *Cloud, cfg RenderConfig) (*RenderImage, error) { return render.Render(c, cfg) }
+
+// DefaultCamera frames a subject bounding box from 3 m away.
+func DefaultCamera(subject AABB) RenderCamera { return render.DefaultCamera(subject) }
+
+// RenderLadder measures per-depth image PSNR of the LOD ladder and
+// returns the rows plus a view-domain utility model.
+func RenderLadder(cfg RenderLadderConfig) ([]RenderLadderRow, UtilityModel, error) {
+	return experiments.RenderLadder(cfg)
+}
+
+// NewScenario builds and calibrates the Fig. 2 scenario.
+func NewScenario(p ScenarioParams) (*Scenario, error) { return experiments.NewScenario(p) }
+
+// Fig1 regenerates the Fig. 1 per-depth resolution/fidelity rows.
+func Fig1(cfg Fig1Config) ([]Fig1Row, error) { return experiments.Fig1(cfg) }
+
+// Fig2 runs the paper's three controls over a calibrated scenario.
+func Fig2(s *Scenario) (*Fig2Result, error) { return experiments.Fig2(s) }
