@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet bench examples clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vsweep
+	$(GO) run ./examples/multidevice
+	$(GO) run ./examples/offload
+	$(GO) run ./examples/streaming
+
+clean:
+	$(GO) clean ./...
+	rm -rf results data

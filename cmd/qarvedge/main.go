@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,9 +62,16 @@ func run(args []string, out io.Writer, started func(addr string)) error {
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 	}
-	frames, bytes, corrupt := srv.Stats()
-	if err := srv.Close(); err != nil {
+	if err := srv.Close(); err != nil && !errors.Is(err, stream.ErrServerClosed) {
 		return err
+	}
+	// Close drained every handler, so the counters now include frames
+	// that were mid-flight when shutdown began.
+	frames, bytes, corrupt := srv.Stats()
+	// Wait reports why the accept loop exited: ErrServerClosed is the
+	// clean shutdown we just requested, anything else is a real failure.
+	if err := srv.Wait(); !errors.Is(err, stream.ErrServerClosed) {
+		return fmt.Errorf("accept loop failed: %w", err)
 	}
 	fmt.Fprintf(out, "served %d frames, %d bytes, %d corrupt rejected\n", frames, bytes, corrupt)
 	return nil

@@ -10,19 +10,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 
+	"qarv"
 	"qarv/internal/experiments"
 	"qarv/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first Ctrl-C cancels ctx, unregister the handler so a
+	// second Ctrl-C falls back to default termination — the graceful
+	// path covers the cancelable stages, the hard path everything else.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "qarvfig:", err)
 		os.Exit(1)
 	}
@@ -56,7 +68,7 @@ func parseFlags(args []string) (options, error) {
 	return o, nil
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
@@ -72,12 +84,15 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -fig %q (want 1, 2a, 2b, ablations, offload, all)", o.fig)
 	}
 	if doFig1 {
-		if err := runFig1(o, out); err != nil {
+		if err := runFig1(ctx, o, out); err != nil {
 			return fmt.Errorf("fig 1: %w", err)
 		}
 	}
 	if doFig2 || doAbl {
-		scn, err := experiments.NewScenario(experiments.ScenarioParams{
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		scn, err := qarv.NewScenario(qarv.ScenarioParams{
 			Samples:  o.samples,
 			Slots:    o.slots,
 			KneeSlot: o.knee,
@@ -87,34 +102,42 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("scenario: %w", err)
 		}
 		if doFig2 {
-			if err := runFig2(o, scn, out); err != nil {
+			if err := runFig2(ctx, o, scn, out); err != nil {
 				return fmt.Errorf("fig 2: %w", err)
 			}
 		}
 		if doAbl {
-			if err := runAblations(o, scn, out); err != nil {
+			if err := runAblations(ctx, o, scn, out); err != nil {
 				return fmt.Errorf("ablations: %w", err)
 			}
 		}
 	}
 	if doOffload {
-		if err := runOffload(o, out); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := runOffload(ctx, o, out); err != nil {
 			return fmt.Errorf("offload: %w", err)
 		}
 	}
 	return nil
 }
 
-func runOffload(o options, out io.Writer) error {
-	res, err := experiments.Offload(experiments.OffloadParams{
+func runOffload(ctx context.Context, o options, out io.Writer) error {
+	sess, err := qarv.NewSession(qarv.WithOffload(qarv.OffloadParams{
 		Samples:  o.samples,
 		Slots:    o.slots,
 		KneeSlot: o.knee,
 		Seed:     o.seed,
-	})
+	}))
 	if err != nil {
 		return err
 	}
+	rep, err := sess.Run(ctx)
+	if err != nil {
+		return err
+	}
+	res := rep.Offload
 	tab := trace.NewTable("Time step", len(res.BacklogBytes))
 	if err := tab.Add(trace.Series{Name: "uplink backlog (bytes)", Values: res.BacklogBytes}); err != nil {
 		return err
@@ -146,8 +169,8 @@ func runOffload(o options, out io.Writer) error {
 	return nil
 }
 
-func runFig1(o options, out io.Writer) error {
-	rows, err := experiments.Fig1(experiments.Fig1Config{Samples: o.samples, Seed: o.seed})
+func runFig1(ctx context.Context, o options, out io.Writer) error {
+	rows, err := experiments.Fig1Context(ctx, experiments.Fig1Config{Samples: o.samples, Seed: o.seed})
 	if err != nil {
 		return err
 	}
@@ -192,8 +215,8 @@ func runFig1(o options, out io.Writer) error {
 	return nil
 }
 
-func runFig2(o options, scn *experiments.Scenario, out io.Writer) error {
-	res, err := experiments.Fig2(scn)
+func runFig2(ctx context.Context, o options, scn *experiments.Scenario, out io.Writer) error {
+	res, err := experiments.Fig2Context(ctx, scn)
 	if err != nil {
 		return err
 	}
@@ -240,9 +263,10 @@ func runFig2(o options, scn *experiments.Scenario, out io.Writer) error {
 	return nil
 }
 
-func runAblations(o options, scn *experiments.Scenario, out io.Writer) error {
-	// ABL-V.
-	vRows, err := experiments.VSweep(scn, nil, 0)
+func runAblations(ctx context.Context, o options, scn *experiments.Scenario, out io.Writer) error {
+	// Each sweep checks the context between points; the boundary checks
+	// here end the whole batch promptly after a cancel.
+	vRows, err := experiments.VSweepContext(ctx, scn, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -259,8 +283,7 @@ func runAblations(o options, scn *experiments.Scenario, out io.Writer) error {
 			fmt.Sprintf("%.4g", r.BoundBacklog),
 		}
 	}
-	// ABL-RATE.
-	rRows, err := experiments.RateSweep(scn, nil, 0)
+	rRows, err := experiments.RateSweepContext(ctx, scn, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -276,7 +299,7 @@ func runAblations(o options, scn *experiments.Scenario, out io.Writer) error {
 		}
 	}
 	// ABL-UTIL.
-	uRows, err := experiments.UtilitySweep(scn, 0)
+	uRows, err := experiments.UtilitySweepContext(ctx, scn, 0)
 	if err != nil {
 		return err
 	}
@@ -292,7 +315,7 @@ func runAblations(o options, scn *experiments.Scenario, out io.Writer) error {
 		}
 	}
 	// ABL-MD.
-	mRows, err := experiments.MultiDevice(scn, 4, 0)
+	mRows, err := experiments.MultiDeviceContext(ctx, scn, 4, 0)
 	if err != nil {
 		return err
 	}
@@ -307,7 +330,7 @@ func runAblations(o options, scn *experiments.Scenario, out io.Writer) error {
 		}
 	}
 	// ABL-BASE.
-	bRows, err := experiments.Baselines(scn, 0, o.seed)
+	bRows, err := experiments.BaselinesContext(ctx, scn, 0, o.seed)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 func TestRunFig1WritesCSVAndTable(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{"-fig", "1", "-samples", "30000", "-out", dir}, &out)
+	err := run(context.Background(), []string{"-fig", "1", "-samples", "30000", "-out", dir}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestRunFig1WritesCSVAndTable(t *testing.T) {
 func TestRunFig2WritesBothCSVs(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{"-fig", "2a", "-samples", "30000", "-slots", "400",
+	err := run(context.Background(), []string{"-fig", "2a", "-samples", "30000", "-slots", "400",
 		"-knee", "150", "-out", dir, "-quiet"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +58,7 @@ func TestRunFig2WritesBothCSVs(t *testing.T) {
 func TestRunChartsOnStdout(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{"-fig", "2b", "-samples", "30000", "-slots", "400",
+	err := run(context.Background(), []string{"-fig", "2b", "-samples", "30000", "-slots", "400",
 		"-knee", "150", "-out", dir}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +74,7 @@ func TestRunChartsOnStdout(t *testing.T) {
 func TestRunOffloadFigure(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := run([]string{"-fig", "offload", "-samples", "30000", "-slots", "400",
+	err := run(context.Background(), []string{"-fig", "offload", "-samples", "30000", "-slots", "400",
 		"-knee", "150", "-out", dir}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -88,13 +89,13 @@ func TestRunOffloadFigure(t *testing.T) {
 }
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
-	if err := run([]string{"-fig", "7"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-fig", "7"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown figure must error")
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-nonsense"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-nonsense"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag must error")
 	}
 }

@@ -1,6 +1,7 @@
 // Command qarvsim runs one AR-visualization control scenario and prints
 // its trajectory summary — the interactive companion to qarvfig for
-// exploring policies, V values, and service rates.
+// exploring policies, V values, and service rates. It drives the run
+// through the qarv Session API, so Ctrl-C cancels cleanly mid-run.
 //
 // Usage:
 //
@@ -10,28 +11,36 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"qarv/internal/experiments"
-	"qarv/internal/geom"
-	"qarv/internal/policy"
-	"qarv/internal/sim"
+	"qarv"
 	"qarv/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first Ctrl-C cancels ctx, unregister the handler so a
+	// second Ctrl-C falls back to default termination even during the
+	// non-cancelable scenario calibration.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "qarvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qarvsim", flag.ContinueOnError)
 	policyName := fs.String("policy", "proposed", "policy: proposed, max, min, random, threshold, fixed:N")
 	vOverride := fs.Float64("v", 0, "override the calibrated V (0 = use calibration)")
@@ -45,7 +54,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	scn, err := experiments.NewScenario(experiments.ScenarioParams{
+	scn, err := qarv.NewScenario(qarv.ScenarioParams{
 		Samples:         *samples,
 		Slots:           *slots,
 		Seed:            uint64(*seed),
@@ -56,18 +65,23 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("scenario: %w", err)
 	}
 
+	// Calibration isn't cancelable; honor a Ctrl-C that arrived during it.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p, err := buildPolicy(*policyName, *vOverride, scn, uint64(*seed))
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(scn.SimConfig(p))
+	sess, err := qarv.NewSession(qarv.WithScenario(scn), qarv.WithPolicy(p))
 	if err != nil {
 		return err
 	}
-	verdict, err := res.Verdict()
+	rep, err := sess.Run(ctx)
 	if err != nil {
 		return err
 	}
+	res := rep.Sim
 
 	fmt.Fprintf(out, "policy            %s\n", res.PolicyName)
 	fmt.Fprintf(out, "slots             %d\n", *slots)
@@ -79,7 +93,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "V                 %.6g\n", v)
 	}
-	fmt.Fprintf(out, "verdict           %s\n", verdict)
+	fmt.Fprintf(out, "verdict           %s\n", rep.Verdict)
 	fmt.Fprintf(out, "time-avg utility  %.4f\n", res.TimeAvgUtility)
 	fmt.Fprintf(out, "time-avg backlog  %.0f\n", res.TimeAvgBacklog)
 	fmt.Fprintf(out, "final backlog     %.0f\n", res.FinalBacklog)
@@ -116,7 +130,7 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func buildPolicy(name string, vOverride float64, scn *experiments.Scenario, seed uint64) (policy.Policy, error) {
+func buildPolicy(name string, vOverride float64, scn *qarv.Scenario, seed uint64) (qarv.Policy, error) {
 	switch {
 	case name == "proposed":
 		if vOverride > 0 {
@@ -124,24 +138,24 @@ func buildPolicy(name string, vOverride float64, scn *experiments.Scenario, seed
 		}
 		return scn.Controller()
 	case name == "max":
-		return policy.NewMaxDepth(scn.Params.Depths)
+		return qarv.NewMaxDepthPolicy(scn.Params.Depths)
 	case name == "min":
-		return policy.NewMinDepth(scn.Params.Depths)
+		return qarv.NewMinDepthPolicy(scn.Params.Depths)
 	case name == "random":
-		return policy.NewRandom(scn.Params.Depths, geom.NewRNG(seed))
+		return qarv.NewRandomPolicy(scn.Params.Depths, seed)
 	case name == "threshold":
 		ctrl, err := scn.Controller()
 		if err != nil {
 			return nil, err
 		}
-		return policy.NewThreshold(scn.Params.Depths,
+		return qarv.NewThresholdPolicy(scn.Params.Depths,
 			0.5*ctrl.SwitchBacklog(), ctrl.SwitchBacklog())
 	case strings.HasPrefix(name, "fixed:"):
 		d, err := strconv.Atoi(strings.TrimPrefix(name, "fixed:"))
 		if err != nil {
 			return nil, fmt.Errorf("bad fixed depth %q: %w", name, err)
 		}
-		return &policy.FixedDepth{Depth: d}, nil
+		return &qarv.FixedDepth{Depth: d}, nil
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}

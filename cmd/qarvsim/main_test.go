@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func simArgs(extra ...string) []string {
 
 func TestRunProposedStabilizes(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(simArgs("-policy", "proposed"), &out); err != nil {
+	if err := run(context.Background(), simArgs("-policy", "proposed"), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -30,7 +31,7 @@ func TestRunProposedStabilizes(t *testing.T) {
 
 func TestRunMaxDiverges(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(simArgs("-policy", "max"), &out); err != nil {
+	if err := run(context.Background(), simArgs("-policy", "max"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "verdict           diverging") {
@@ -40,7 +41,7 @@ func TestRunMaxDiverges(t *testing.T) {
 
 func TestRunFixedPolicy(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(simArgs("-policy", "fixed:7"), &out); err != nil {
+	if err := run(context.Background(), simArgs("-policy", "fixed:7"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "fixed-depth(7)") {
@@ -50,7 +51,7 @@ func TestRunFixedPolicy(t *testing.T) {
 
 func TestRunChartFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(simArgs("-policy", "min", "-chart"), &out); err != nil {
+	if err := run(context.Background(), simArgs("-policy", "min", "-chart"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Queue backlog") ||
@@ -61,7 +62,7 @@ func TestRunChartFlag(t *testing.T) {
 
 func TestRunVOverride(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(simArgs("-policy", "proposed", "-v", "123456"), &out); err != nil {
+	if err := run(context.Background(), simArgs("-policy", "proposed", "-v", "123456"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "123456") {
@@ -70,13 +71,13 @@ func TestRunVOverride(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(simArgs("-policy", "alchemy"), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), simArgs("-policy", "alchemy"), &bytes.Buffer{}); err == nil {
 		t.Error("unknown policy must error")
 	}
-	if err := run(simArgs("-policy", "fixed:x"), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), simArgs("-policy", "fixed:x"), &bytes.Buffer{}); err == nil {
 		t.Error("bad fixed depth must error")
 	}
-	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag must error")
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,16 +53,19 @@ func run() error {
 		}
 	}
 
-	res, err := qarv.RunMulti(qarv.MultiConfig{
-		Devices: devs,
-		// The edge budget is devices × the single-device rate, split
-		// equally with no backlog awareness (information-free sharing).
-		Service: &qarv.ConstantService{Rate: float64(devices) * scn.ServiceRate},
-		Slots:   2000,
-	})
+	// WithDevices switches the session to the shared-budget multi-device
+	// run; the scenario supplies the default edge budget of devices × the
+	// single-device rate, split equally with no backlog awareness
+	// (information-free sharing).
+	sess, err := qarv.NewSession(qarv.WithScenario(scn), qarv.WithDevices(devs...))
 	if err != nil {
 		return err
 	}
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	res := rep.Multi
 
 	fmt.Printf("edge budget: %.0f points/slot shared by %d devices (no coordination)\n\n",
 		float64(devices)*scn.ServiceRate, devices)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 }
 
 func run() error {
-	res, err := qarv.Offload(qarv.OffloadParams{
+	sess, err := qarv.NewSession(qarv.WithOffload(qarv.OffloadParams{
 		Samples:    60_000,
 		Slots:      3000,
 		KneeSlot:   250,
@@ -33,10 +34,15 @@ func run() error {
 		DropStart:  900,
 		DropEnd:    1200,
 		DropFactor: 0.5, // uplink halves for 300 slots
-	})
+	}))
 	if err != nil {
 		return err
 	}
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	res := rep.Offload
 
 	fmt.Println("edge-offload session (octree streams over an emulated uplink)")
 	fmt.Printf("uplink bandwidth    %.0f B/slot (drops to 50%% during slots 900-1200)\n", res.Bandwidth)

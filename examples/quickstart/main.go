@@ -3,13 +3,14 @@
 //  1. Generate a voxelized full-body capture (the 8i-dataset substitute).
 //  2. Build its octree and read the per-depth workload profile a(d).
 //  3. Build the drift-plus-penalty controller (Eq. (3)).
-//  4. Drive a short control loop by hand and watch the depth adapt to the
-//     backlog.
+//  4. Run a short control session through the unified Session API,
+//     watching each slot's decision live via an observer hook.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,22 +73,37 @@ func run() error {
 	}
 	fmt.Printf("\ncontroller: V=%.4g calibrated for a knee at slot 50\n", v)
 
-	// 4. Hand-rolled control loop: one frame per slot, fixed service.
-	var queue qarv.Backlog
+	// 4. One Session drives the whole control loop: one frame per slot,
+	// fixed service, and an observer streaming each slot's decision as it
+	// happens — no hand-rolled Lindley recursion, no post-processing.
 	fmt.Println("\nslot  backlog      depth  note")
-	for t := 0; t < 100; t++ {
-		q := queue.Level()
-		d := ctrl.Decide(t, q) // d*(t) = argmax V·pa(d) − Q(t)·a(d)
-		queue.Step(cost.FrameCost(d), serviceRate)
-		if t%10 == 0 || (t > 45 && t < 55) {
-			note := ""
-			if d < 10 {
-				note = "<- backed off to protect the delay constraint"
+	sess, err := qarv.NewSession(
+		qarv.WithPolicy(ctrl),
+		qarv.WithArrivals(&qarv.DeterministicArrivals{PerSlot: 1}),
+		qarv.WithCost(cost),
+		qarv.WithUtility(util),
+		qarv.WithService(&qarv.ConstantService{Rate: serviceRate}),
+		qarv.WithSlots(100),
+		qarv.WithObserver(func(e qarv.SlotEvent) {
+			if e.Slot%10 == 0 || (e.Slot > 45 && e.Slot < 55) {
+				note := ""
+				if e.Depth < 10 {
+					note = "<- backed off to protect the delay constraint"
+				}
+				fmt.Printf("%4d  %11.0f  %5d  %s\n", e.Slot, e.Backlog, e.Depth, note)
 			}
-			fmt.Printf("%4d  %11.0f  %5d  %s\n", t, q, d, note)
-		}
+		}),
+	)
+	if err != nil {
+		return err
 	}
-	fmt.Println("\nThe controller rides max quality while the queue is cheap, then")
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsession verdict: %s (time-avg utility %.3f)\n",
+		rep.Verdict, rep.TimeAvgUtility)
+	fmt.Println("The controller rides max quality while the queue is cheap, then")
 	fmt.Println("drops depth exactly when the backlog threatens stability.")
 	return nil
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,19 +61,32 @@ func run() error {
 		},
 	}
 
-	cfg := scn.SimConfig(ctrl)
-	cfg.Arrivals = arrivals
-	cfg.Service = service
-	res, err := qarv.RunSim(cfg)
+	// The Session composes the calibrated scenario with the stressed
+	// arrivals and service; an observer watches the throttle window's
+	// worst backlog live instead of post-processing the trajectory.
+	var worstThrottled float64
+	sess, err := qarv.NewSession(
+		qarv.WithScenario(scn),
+		qarv.WithPolicy(ctrl),
+		qarv.WithArrivals(arrivals),
+		qarv.WithService(service),
+		qarv.WithObserver(func(e qarv.SlotEvent) {
+			if e.Slot >= 1200 && e.Slot < 1600 && e.Backlog > worstThrottled {
+				worstThrottled = e.Backlog
+			}
+		}),
+	)
 	if err != nil {
 		return err
 	}
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	res := rep.Sim
 
-	verdict, err := res.Verdict()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("session verdict        %s\n", verdict)
+	fmt.Printf("session verdict        %s\n", rep.Verdict)
+	fmt.Printf("worst throttled queue  %.0f work units\n", worstThrottled)
 	fmt.Printf("time-avg utility       %.3f\n", res.TimeAvgUtility)
 	fmt.Printf("frames completed       %d\n", len(res.Completed))
 	fmt.Printf("mean frame latency     %.2f slots\n", res.MeanSojourn)

@@ -1,18 +1,20 @@
 // Vsweep: the Lyapunov tradeoff knob made visible. The drift-plus-penalty
 // theory promises a utility gap shrinking as O(1/V) while the backlog
-// grows as O(V). This example sweeps V around the calibrated V* and prints
-// measured utility/backlog against the theoretical bounds, reproducing the
-// ABL-V ablation of DESIGN.md.
+// grows as O(V). This example sweeps V around the calibrated V* — one
+// Session per point, all of them run concurrently by a SessionPool with
+// deterministic result ordering — and prints measured utility/backlog
+// against the theoretical bounds, reproducing the ABL-V ablation of
+// DESIGN.md.
 //
 // Run: go run ./examples/vsweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"qarv"
-	"qarv/internal/experiments"
 )
 
 func main() {
@@ -32,18 +34,45 @@ func run() error {
 	}
 	fmt.Printf("calibrated V* = %.4g (knee at slot %.0f)\n\n", scn.V, scn.Params.KneeSlot)
 
-	factors := []float64{0.05, 0.2, 0.5, 1, 2, 4}
 	// Horizon scales with the largest V so every run reaches steady state.
-	rows, err := experiments.VSweep(scn, factors, 20_000)
+	const slots = 20_000
+	factors := []float64{0.05, 0.2, 0.5, 1, 2, 4}
+
+	// One session per sweep point — each with its own controller instance,
+	// so the concurrent runs share no state and the pool's reports are
+	// byte-identical to a sequential loop.
+	controllers := make([]*qarv.Controller, len(factors))
+	pool := qarv.NewSessionPool(0) // 0 workers = GOMAXPROCS
+	for i, f := range factors {
+		ctrl, err := scn.ControllerWithV(scn.V * f)
+		if err != nil {
+			return err
+		}
+		controllers[i] = ctrl
+		s, err := qarv.NewSession(
+			qarv.WithScenario(scn),
+			qarv.WithPolicy(ctrl),
+			qarv.WithSlots(slots),
+		)
+		if err != nil {
+			return err
+		}
+		pool.Add(s)
+	}
+	reports, err := pool.Run(context.Background())
 	if err != nil {
 		return err
 	}
 
 	fmt.Println("   V/V*     avg utility    avg backlog      verdict      bound gap O(1/V)   bound Q O(V)")
-	for i, r := range rows {
+	for i, rep := range reports {
+		var gap, qBound float64
+		if b, err := controllers[i].TheoreticalBounds(scn.ServiceRate); err == nil {
+			gap, qBound = b.UtilityGap, b.BacklogBound
+		}
 		fmt.Printf("%7.2f  %14.4f  %13.0f  %11s  %17.3g  %13.3g\n",
-			factors[i], r.TimeAvgUtility, r.TimeAvgBacklog, r.Verdict,
-			r.BoundUtilityGap, r.BoundBacklog)
+			factors[i], rep.TimeAvgUtility, rep.TimeAvgBacklog, rep.Verdict,
+			gap, qBound)
 	}
 
 	fmt.Println("\nReading the table:")

@@ -1,0 +1,3 @@
+module qarv
+
+go 1.21

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"qarv/internal/core"
@@ -32,6 +33,12 @@ type VSweepRow struct {
 // VSweep reruns the Proposed controller with V scaled by each factor of
 // the calibrated V*, over an extended horizon so time averages settle.
 func VSweep(s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
+	return VSweepContext(context.Background(), s, factors, slots)
+}
+
+// VSweepContext is VSweep under a cancelable context, checked per point
+// and inside each run's slot loop.
+func VSweepContext(ctx context.Context, s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
 	if len(factors) == 0 {
 		factors = []float64{0.01, 0.1, 0.5, 1, 2, 10}
 	}
@@ -58,7 +65,7 @@ func VSweep(s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
 		}
 		cfg := s.SimConfig(ctrl)
 		cfg.Slots = slots
-		res, err := sim.Run(cfg)
+		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("V=%v: %w", v, err)
 		}
@@ -100,6 +107,11 @@ type RateSweepRow struct {
 // whenever any candidate depth is stabilizable, degrading quality
 // gracefully as capacity shrinks.
 func RateSweep(s *Scenario, fractions []float64, slots int) ([]RateSweepRow, error) {
+	return RateSweepContext(context.Background(), s, fractions, slots)
+}
+
+// RateSweepContext is RateSweep under a cancelable context.
+func RateSweepContext(ctx context.Context, s *Scenario, fractions []float64, slots int) ([]RateSweepRow, error) {
 	if len(fractions) == 0 {
 		fractions = []float64{0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4}
 	}
@@ -115,7 +127,7 @@ func RateSweep(s *Scenario, fractions []float64, slots int) ([]RateSweepRow, err
 		cfg := s.SimConfig(ctrl)
 		cfg.Service = &delay.ConstantService{Rate: s.ServiceRate * f}
 		cfg.Slots = slots
-		res, err := sim.Run(cfg)
+		res, err := sim.RunContext(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fraction %v: %w", f, err)
 		}
@@ -155,6 +167,11 @@ type UtilitySweepRow struct {
 // V per model so knees are comparable. The stability conclusions must be
 // model-independent (only the knee's utility units change).
 func UtilitySweep(s *Scenario, slots int) ([]UtilitySweepRow, error) {
+	return UtilitySweepContext(context.Background(), s, slots)
+}
+
+// UtilitySweepContext is UtilitySweep under a cancelable context.
+func UtilitySweepContext(ctx context.Context, s *Scenario, slots int) ([]UtilitySweepRow, error) {
 	if slots <= 0 {
 		slots = s.Params.Slots
 	}
@@ -182,7 +199,7 @@ func UtilitySweep(s *Scenario, slots int) ([]UtilitySweepRow, error) {
 		simCfg := s.SimConfig(ctrl)
 		simCfg.Utility = m
 		simCfg.Slots = slots
-		res, err := sim.Run(simCfg)
+		res, err := sim.RunContext(ctx, simCfg)
 		if err != nil {
 			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
 		}
@@ -231,6 +248,11 @@ type MultiDeviceRow struct {
 // MultiDevice runs n controllers sharing n× the single-device service
 // budget, each acting only on its own backlog (no side information, §II).
 func MultiDevice(s *Scenario, n, slots int) ([]MultiDeviceRow, error) {
+	return MultiDeviceContext(context.Background(), s, n, slots)
+}
+
+// MultiDeviceContext is MultiDevice under a cancelable context.
+func MultiDeviceContext(ctx context.Context, s *Scenario, n, slots int) ([]MultiDeviceRow, error) {
 	if n <= 0 {
 		n = 4
 	}
@@ -250,7 +272,7 @@ func MultiDevice(s *Scenario, n, slots int) ([]MultiDeviceRow, error) {
 			Arrivals: &queueing.DeterministicArrivals{PerSlot: 1},
 		}
 	}
-	res, err := sim.RunMulti(sim.MultiConfig{
+	res, err := sim.RunMultiContext(ctx, sim.MultiConfig{
 		Devices: devices,
 		Service: &delay.ConstantService{Rate: s.ServiceRate * float64(n)},
 		Slots:   slots,
@@ -290,6 +312,11 @@ type BaselineRow struct {
 // Baselines compares the Proposed controller against all reference
 // policies on the calibrated scenario.
 func Baselines(s *Scenario, slots int, seed uint64) ([]BaselineRow, error) {
+	return BaselinesContext(context.Background(), s, slots, seed)
+}
+
+// BaselinesContext is Baselines under a cancelable context.
+func BaselinesContext(ctx context.Context, s *Scenario, slots int, seed uint64) ([]BaselineRow, error) {
 	if slots <= 0 {
 		slots = 2 * s.Params.Slots
 	}
@@ -322,7 +349,7 @@ func Baselines(s *Scenario, slots int, seed uint64) ([]BaselineRow, error) {
 		return nil, err
 	}
 	policies := []policy.Policy{ctrl, maxP, minP, randP, thrP, oracleP}
-	results, err := sim.Compare(s.SimConfig(nil), policies)
+	results, err := sim.CompareContext(ctx, s.SimConfig(nil), policies)
 	if err != nil {
 		return nil, err
 	}

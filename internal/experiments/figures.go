@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -59,6 +60,12 @@ func (c Fig1Config) withDefaults() Fig1Config {
 // Fig1 regenerates the Fig. 1 artifact: per-depth resolution and fidelity
 // of the octree LOD ladder over one synthetic full-body frame.
 func Fig1(cfg Fig1Config) ([]Fig1Row, error) {
+	return Fig1Context(context.Background(), cfg)
+}
+
+// Fig1Context is Fig1 under a cancelable context, checked before each
+// depth's (expensive) geometry comparison.
+func Fig1Context(ctx context.Context, cfg Fig1Config) ([]Fig1Row, error) {
 	c := cfg.withDefaults()
 	ch, err := synthetic.ByName(c.Character)
 	if err != nil {
@@ -79,6 +86,9 @@ func Fig1(cfg Fig1Config) ([]Fig1Row, error) {
 	}
 	rows := make([]Fig1Row, 0, len(c.Depths))
 	for _, d := range c.Depths {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fig1 canceled at depth %d: %w", d, err)
+		}
 		lod, err := tree.LOD(d, octree.LODCentroid)
 		if err != nil {
 			return nil, fmt.Errorf("LOD depth %d: %w", d, err)
@@ -140,11 +150,16 @@ type Fig2Result struct {
 
 // Fig2 runs the paper's three controls over the calibrated scenario.
 func Fig2(s *Scenario) (*Fig2Result, error) {
+	return Fig2Context(context.Background(), s)
+}
+
+// Fig2Context is Fig2 under a cancelable context.
+func Fig2Context(ctx context.Context, s *Scenario) (*Fig2Result, error) {
 	trio, err := s.TrioPolicies()
 	if err != nil {
 		return nil, err
 	}
-	results, err := sim.Compare(s.SimConfig(nil), trio)
+	results, err := sim.CompareContext(ctx, s.SimConfig(nil), trio)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,7 @@ import (
 	"qarv/internal/octree"
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
+	"qarv/internal/sim"
 	"qarv/internal/stats"
 	"qarv/internal/synthetic"
 )
@@ -33,11 +35,20 @@ type OffloadParams struct {
 	// BandwidthFraction places the uplink bandwidth between
 	// bytes(d_max−1) and bytes(d_max), default 0.6 (deepest unstable).
 	BandwidthFraction float64
+	// Bandwidth, when positive, fixes the uplink bandwidth in bytes/slot
+	// directly, overriding BandwidthFraction's profile-relative sizing.
+	Bandwidth float64
 	// LatencySlots, JitterSlots, LossProb shape the link (defaults 2,
-	// 0.3, 0.01).
+	// 0.3, 0.01; zero values take the defaults — use Link to express
+	// literal zeros).
 	LatencySlots float64
 	JitterSlots  float64
 	LossProb     float64
+	// Link, when non-nil, configures the uplink exactly: its latency,
+	// jitter, and loss are used verbatim (zeros included), its
+	// BytesPerSlot (when positive) fixes the bandwidth like Bandwidth
+	// does, and its Seed (when nonzero) replaces Seed for the link RNG.
+	Link *netem.LinkConfig
 	// KneeSlot and Slots as in ScenarioParams (defaults 400, 800).
 	KneeSlot float64
 	Slots    int
@@ -45,6 +56,13 @@ type OffloadParams struct {
 	// [DropStart, DropEnd) — the handover/congestion failure injection.
 	DropStart, DropEnd int
 	DropFactor         float64
+	// Observer, when non-nil, receives every slot's event as the control
+	// loop runs. Offload semantics differ from sim runs: Arrived is the
+	// frame's bytes offered to the uplink (0 when link-layer loss drops
+	// it) and Served is always 0 — the link drains continuously rather
+	// than per-slot, so service is observable only through Backlog, and
+	// the sim invariant Q(t+1) = Q(t) + Arrived − Served does not hold.
+	Observer sim.Observer
 }
 
 func (p OffloadParams) withDefaults() OffloadParams {
@@ -84,6 +102,34 @@ func (p OffloadParams) withDefaults() OffloadParams {
 	return p
 }
 
+// Validate checks the parameters (after default resolution) without
+// building the capture: the character preset must exist and every
+// candidate depth must fit inside the capture lattice. The Session API
+// calls this once at construction.
+func (p OffloadParams) Validate() error {
+	d := p.withDefaults()
+	if _, err := synthetic.ByName(d.Character); err != nil {
+		return err
+	}
+	for _, dep := range d.Depths {
+		if dep > d.CaptureDepth {
+			return fmt.Errorf("%w: %d > %d", ErrDepthBeyondCapture, dep, d.CaptureDepth)
+		}
+	}
+	if p.Link != nil {
+		// Shape parameters can be checked before the bandwidth is known:
+		// stand in a positive bandwidth so netem validates the rest.
+		lc := *p.Link
+		if lc.BytesPerSlot <= 0 {
+			lc.BytesPerSlot = 1
+		}
+		if _, err := netem.NewLink(lc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OffloadResult is the trajectory and delivery statistics of one offload
 // run.
 type OffloadResult struct {
@@ -110,6 +156,13 @@ var ErrNoDeliveries = errors.New("experiments: no frames delivered")
 // the uplink, calibrates V against the byte workload, and runs the
 // control loop against the emulated link.
 func Offload(params OffloadParams) (*OffloadResult, error) {
+	return OffloadContext(context.Background(), params)
+}
+
+// OffloadContext is Offload under a cancelable context: the slot loop
+// polls ctx once per queueing.PollEvery slots and aborts with the
+// context's error.
+func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, error) {
 	p := params.withDefaults()
 	ch, err := synthetic.ByName(p.Character)
 	if err != nil {
@@ -148,6 +201,12 @@ func Offload(params OffloadParams) (*OffloadResult, error) {
 	bMax := cost.FrameCost(dMax)
 	bSecond := cost.FrameCost(second)
 	bandwidth := bSecond + p.BandwidthFraction*(bMax-bSecond)
+	if p.Bandwidth > 0 {
+		bandwidth = p.Bandwidth
+	}
+	if p.Link != nil && p.Link.BytesPerSlot > 0 {
+		bandwidth = p.Link.BytesPerSlot
+	}
 
 	cfg := core.Config{Depths: p.Depths, Utility: util, Cost: cost}
 	v, err := core.CalibrateV(p.KneeSlot, bandwidth, cfg)
@@ -160,13 +219,23 @@ func Offload(params OffloadParams) (*OffloadResult, error) {
 		return nil, err
 	}
 
-	link, err := netem.NewLink(netem.LinkConfig{
+	linkCfg := netem.LinkConfig{
 		BytesPerSlot: bandwidth,
 		LatencySlots: p.LatencySlots,
 		JitterSlots:  p.JitterSlots,
 		LossProb:     p.LossProb,
 		Seed:         p.Seed,
-	})
+	}
+	if p.Link != nil {
+		// Explicit link config: shape fields are taken verbatim, zeros
+		// included, so lossless/zero-latency uplinks are expressible.
+		linkCfg = *p.Link
+		linkCfg.BytesPerSlot = bandwidth
+		if linkCfg.Seed == 0 {
+			linkCfg.Seed = p.Seed
+		}
+	}
+	link, err := netem.NewLink(linkCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +249,11 @@ func Offload(params OffloadParams) (*OffloadResult, error) {
 		Depth:        make([]int, p.Slots),
 	}
 	var depthSum float64
+	cancel := queueing.NewCancelCheck(ctx, 0)
 	for t := 0; t < p.Slots; t++ {
+		if err := cancel.Check(); err != nil {
+			return nil, fmt.Errorf("experiments: offload canceled at slot %d: %w", t, err)
+		}
 		if p.DropFactor > 0 && t == p.DropStart {
 			if err := link.SetBandwidth(bandwidth * p.DropFactor); err != nil {
 				return nil, err
@@ -198,12 +271,21 @@ func Offload(params OffloadParams) (*OffloadResult, error) {
 		d := ctrl.Decide(t, q)
 		res.Depth[t] = d
 		depthSum += float64(d)
-		tx := link.Transmit(cost.FrameCost(d), t)
+		frameBytes := cost.FrameCost(d)
+		tx := link.Transmit(frameBytes, t)
+		arrived := frameBytes
 		if tx.Dropped {
 			res.LossCount++
-			continue
+			arrived = 0
+		} else {
+			res.Latency = append(res.Latency, tx.DeliveredSlot-float64(t))
 		}
-		res.Latency = append(res.Latency, tx.DeliveredSlot-float64(t))
+		if p.Observer != nil {
+			p.Observer(sim.SlotEvent{
+				Slot: t, Device: -1, Backlog: q, Depth: d,
+				Utility: util.Utility(d), Arrived: arrived,
+			})
+		}
 	}
 	res.MeanDepth = depthSum / float64(p.Slots)
 	if len(res.Latency) == 0 {

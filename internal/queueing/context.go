@@ -1,0 +1,43 @@
+package queueing
+
+import "context"
+
+// PollEvery is the default cancellation-poll stride used by the slot
+// loops: contexts are checked once per this many iterations so a hot
+// Lindley loop pays (almost) nothing for cancellability while a
+// million-slot run still aborts within ~a thousand slots of a cancel.
+const PollEvery = 1024
+
+// CancelCheck amortizes context polling across hot slot loops. Calling
+// Check every iteration touches the context only once per stride, so the
+// loop body stays branch-cheap; the first poll after cancellation
+// returns the context's error.
+type CancelCheck struct {
+	ctx   context.Context
+	every uint
+	n     uint
+}
+
+// NewCancelCheck builds a checker over ctx polling once per every
+// iterations (every <= 0 takes PollEvery; a nil ctx never cancels).
+func NewCancelCheck(ctx context.Context, every int) *CancelCheck {
+	if every <= 0 {
+		every = PollEvery
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &CancelCheck{ctx: ctx, every: uint(every)}
+}
+
+// Check counts one iteration and, once per stride, polls the context.
+// It returns nil while the context is live and ctx.Err() once canceled.
+// The very first call polls too, so a pre-canceled context aborts even
+// loops shorter than one stride.
+func (c *CancelCheck) Check() error {
+	c.n++
+	if c.n != 1 && c.n%c.every != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}

@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -259,5 +260,37 @@ func TestLittleEstimator(t *testing.T) {
 	var empty LittleEstimator
 	if empty.L() != 0 || empty.Lambda() != 0 || empty.W() != 0 {
 		t.Error("empty estimator must report zeros")
+	}
+}
+
+func TestCancelCheckStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewCancelCheck(ctx, 4)
+	for i := 0; i < 16; i++ {
+		if err := c.Check(); err != nil {
+			t.Fatalf("live context canceled at iteration %d: %v", i, err)
+		}
+	}
+	cancel()
+	// The next poll boundary must surface the cancellation; at stride 4
+	// that is at most 4 iterations away.
+	var got error
+	for i := 0; i < 4; i++ {
+		if got = c.Check(); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Errorf("post-cancel Check = %v, want context.Canceled", got)
+	}
+}
+
+func TestCancelCheckDefaults(t *testing.T) {
+	// Nil context and non-positive stride take safe defaults.
+	c := NewCancelCheck(nil, 0)
+	for i := 0; i < 3*PollEvery; i++ {
+		if err := c.Check(); err != nil {
+			t.Fatalf("nil-context checker canceled: %v", err)
+		}
 	}
 }

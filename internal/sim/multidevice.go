@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,12 +38,43 @@ type MultiConfig struct {
 	// budget/N regardless of backlogs, preserving full distribution).
 	Service delay.ServiceProcess
 	Slots   int
+	// Observer, when non-nil, receives every device's slot event (the
+	// event's Device field indexes into Devices).
+	Observer Observer
 }
 
 // Multi-device validation errors.
 var (
 	ErrNoDevices = errors.New("sim: no devices")
 )
+
+// Validate checks the configuration without running it.
+func (c *MultiConfig) Validate() error {
+	if len(c.Devices) == 0 {
+		return ErrNoDevices
+	}
+	if c.Service == nil {
+		return ErrNilService
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadSlots, c.Slots)
+	}
+	for i, dev := range c.Devices {
+		if dev.Policy == nil {
+			return fmt.Errorf("device %d: %w", i, ErrNilPolicy)
+		}
+		if dev.Cost == nil {
+			return fmt.Errorf("device %d: %w", i, ErrNilCost)
+		}
+		if dev.Utility == nil {
+			return fmt.Errorf("device %d: %w", i, ErrNilUtility)
+		}
+		if dev.Arrivals == nil {
+			return fmt.Errorf("device %d: %w", i, ErrNilArrivals)
+		}
+	}
+	return nil
+}
 
 // MultiResult aggregates per-device results of a shared run.
 type MultiResult struct {
@@ -55,31 +87,20 @@ type MultiResult struct {
 
 // RunMulti executes N devices against an equally split shared service.
 func RunMulti(cfg MultiConfig) (*MultiResult, error) {
-	if len(cfg.Devices) == 0 {
-		return nil, ErrNoDevices
-	}
-	if cfg.Service == nil {
-		return nil, ErrNilService
-	}
-	if cfg.Slots <= 0 {
-		return nil, fmt.Errorf("%w: %d", ErrBadSlots, cfg.Slots)
+	return RunMultiContext(context.Background(), cfg)
+}
+
+// RunMultiContext is RunMulti under a cancelable context: the slot loop
+// polls ctx once per queueing.PollEvery slots and aborts with the
+// context's error.
+func RunMultiContext(ctx context.Context, cfg MultiConfig) (*MultiResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	n := len(cfg.Devices)
 	results := make([]*Result, n)
 	backlogs := make([]*queueing.Backlog, n)
 	for i, dev := range cfg.Devices {
-		if dev.Policy == nil {
-			return nil, fmt.Errorf("device %d: %w", i, ErrNilPolicy)
-		}
-		if dev.Cost == nil {
-			return nil, fmt.Errorf("device %d: %w", i, ErrNilCost)
-		}
-		if dev.Utility == nil {
-			return nil, fmt.Errorf("device %d: %w", i, ErrNilUtility)
-		}
-		if dev.Arrivals == nil {
-			return nil, fmt.Errorf("device %d: %w", i, ErrNilArrivals)
-		}
 		results[i] = &Result{
 			PolicyName: dev.Policy.Name(),
 			Backlog:    make([]float64, cfg.Slots),
@@ -93,7 +114,11 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 
 	utilSums := make([]float64, n)
 	backlogSums := make([]float64, n)
+	cancel := queueing.NewCancelCheck(ctx, 0)
 	for t := 0; t < cfg.Slots; t++ {
+		if err := cancel.Check(); err != nil {
+			return nil, fmt.Errorf("sim: canceled at slot %d: %w", t, err)
+		}
 		share := cfg.Service.Service(t) / float64(n)
 		for i, dev := range cfg.Devices {
 			q := backlogs[i].Level()
@@ -115,7 +140,14 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 				work += dev.Cost.FrameCost(d)
 			}
 			res.Arrived[t] = work
-			res.Served[t] = backlogs[i].Step(work, share)
+			served := backlogs[i].Step(work, share)
+			res.Served[t] = served
+			if cfg.Observer != nil {
+				cfg.Observer(SlotEvent{
+					Slot: t, Device: i, Backlog: q, Depth: d,
+					Utility: u, Arrived: work, Served: served,
+				})
+			}
 		}
 	}
 

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,6 +17,30 @@ import (
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
 )
+
+// SlotEvent is one slot's control decision and queue transition, emitted
+// to observers as the loop runs so streaming/tracing consumers don't need
+// to post-process full trajectories.
+type SlotEvent struct {
+	// Slot is the time step t.
+	Slot int
+	// Device indexes the device in multi-device runs; -1 in single runs.
+	Device int
+	// Backlog is Q(t) observed at the start of the slot.
+	Backlog float64
+	// Depth is the chosen d(t).
+	Depth int
+	// Utility is pa(d(t)).
+	Utility float64
+	// Arrived is the work enqueued this slot.
+	Arrived float64
+	// Served is the work served this slot.
+	Served float64
+}
+
+// Observer receives each slot's event synchronously from the loop
+// goroutine; implementations must be fast or hand off to a channel.
+type Observer func(SlotEvent)
 
 // Config describes one simulation run.
 type Config struct {
@@ -33,6 +58,8 @@ type Config struct {
 	Slots int
 	// MaxBacklog, when positive, bounds the queue (overflow drops work).
 	MaxBacklog float64
+	// Observer, when non-nil, receives every slot's event as it happens.
+	Observer Observer
 }
 
 // Config validation errors.
@@ -44,6 +71,10 @@ var (
 	ErrNilService  = errors.New("sim: nil service process")
 	ErrBadSlots    = errors.New("sim: slot count must be positive")
 )
+
+// Validate checks the configuration without running it (the Session API
+// validates once at construction).
+func (c *Config) Validate() error { return c.validate() }
 
 func (c *Config) validate() error {
 	switch {
@@ -102,7 +133,12 @@ func (r *Result) DepthHistogram() map[int]int {
 }
 
 // Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes the simulation under a context: the slot loop polls
+// ctx once per queueing.PollEvery slots and aborts with the context's
+// error, so even million-slot runs cancel promptly.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -116,9 +152,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	backlog := queueing.NewBoundedBacklog(cfg.MaxBacklog)
 	var frames queueing.FrameQueue
+	cancel := queueing.NewCancelCheck(ctx, 0)
 
 	var utilSum, backlogSum float64
 	for t := 0; t < cfg.Slots; t++ {
+		if err := cancel.Check(); err != nil {
+			return nil, fmt.Errorf("sim: canceled at slot %d: %w", t, err)
+		}
 		q := backlog.Level() // line 4 of Algorithm 1: observe Q(t)
 		res.Backlog[t] = q
 		backlogSum += q
@@ -153,6 +193,12 @@ func Run(cfg Config) (*Result, error) {
 		// Sample the queue at end of slot so L and W use the same clock
 		// (a frame completing in its arrival slot contributes 0 to both).
 		res.Little.ObserveSlot(float64(frames.Len()), n)
+		if cfg.Observer != nil {
+			cfg.Observer(SlotEvent{
+				Slot: t, Device: -1, Backlog: q, Depth: d,
+				Utility: u, Arrived: work, Served: served,
+			})
+		}
 	}
 
 	res.DroppedWork = backlog.TotalDropped()
@@ -172,11 +218,16 @@ func Run(cfg Config) (*Result, error) {
 // Compare runs the same scenario under several policies (fresh queues
 // each) and returns results keyed by the order given.
 func Compare(base Config, policies []policy.Policy) ([]*Result, error) {
+	return CompareContext(context.Background(), base, policies)
+}
+
+// CompareContext is Compare under a cancelable context.
+func CompareContext(ctx context.Context, base Config, policies []policy.Policy) ([]*Result, error) {
 	out := make([]*Result, 0, len(policies))
 	for _, p := range policies {
 		cfg := base
 		cfg.Policy = p
-		r, err := Run(cfg)
+		r, err := RunContext(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("policy %q: %w", p.Name(), err)
 		}

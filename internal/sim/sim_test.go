@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -358,5 +359,69 @@ func TestFailureInjectionThrottling(t *testing.T) {
 	if inWindow/400 >= outWindow/400 {
 		t.Errorf("mean depth in throttle window %v not below normal %v",
 			inWindow/400, outWindow/400)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := baseConfig(t, controller(t, 5e5), 1_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Observer = func(e SlotEvent) {
+		if e.Slot == 100 {
+			cancel()
+		}
+	}
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestObserverMatchesTrajectory(t *testing.T) {
+	cfg := baseConfig(t, controller(t, 5e5), 600)
+	var events []SlotEvent
+	cfg.Observer = func(e SlotEvent) { events = append(events, e) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != cfg.Slots {
+		t.Fatalf("observer saw %d slots, want %d", len(events), cfg.Slots)
+	}
+	for i, e := range events {
+		if e.Slot != i || e.Device != -1 ||
+			e.Backlog != res.Backlog[i] || e.Depth != res.Depth[i] ||
+			e.Utility != res.Utility[i] || e.Arrived != res.Arrived[i] ||
+			e.Served != res.Served[i] {
+			t.Fatalf("event %d = %+v disagrees with result", i, e)
+		}
+	}
+}
+
+func TestRunMultiObserverTagsDevices(t *testing.T) {
+	cfg := baseConfig(t, controller(t, 5e5), 50)
+	dev := Device{Policy: cfg.Policy, Cost: cfg.Cost, Utility: cfg.Utility, Arrivals: cfg.Arrivals}
+	seen := map[int]int{}
+	_, err := RunMulti(MultiConfig{
+		Devices:  []Device{dev, dev, dev},
+		Service:  cfg.Service,
+		Slots:    50,
+		Observer: func(e SlotEvent) { seen[e.Device]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 50 || seen[1] != 50 || seen[2] != 50 {
+		t.Errorf("per-device event counts = %v", seen)
+	}
+}
+
+func TestConfigValidateExported(t *testing.T) {
+	var c Config
+	if err := c.Validate(); !errors.Is(err, ErrNilPolicy) {
+		t.Errorf("empty config Validate = %v", err)
+	}
+	var m MultiConfig
+	if err := m.Validate(); !errors.Is(err, ErrNoDevices) {
+		t.Errorf("empty multi config Validate = %v", err)
 	}
 }

@@ -20,6 +20,12 @@ type ServerConfig struct {
 	Validate bool
 }
 
+// ErrServerClosed reports a clean, caller-initiated shutdown: Wait
+// returns it after Close, and Close itself returns it when called again
+// on an already-closed server — mirroring net/http's convention so
+// callers can distinguish orderly teardown from accept failures.
+var ErrServerClosed = errors.New("stream: server closed")
+
 // Server is the edge-side receiver: it accepts device connections, paces
 // frame processing at the configured throughput, and acknowledges each
 // frame with the cumulative processed byte count.
@@ -28,8 +34,11 @@ type Server struct {
 	ln   net.Listener
 	stop chan struct{}
 	wg   sync.WaitGroup
+	done chan struct{} // closed when the accept loop exits
 
 	mu          sync.Mutex
+	closed      bool
+	loopErr     error // why the accept loop exited
 	framesSeen  int
 	bytesSeen   uint64
 	corruptSeen int
@@ -41,7 +50,7 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: listen: %w", err)
 	}
-	s := &Server{cfg: cfg, ln: ln, stop: make(chan struct{})}
+	s := &Server{cfg: cfg, ln: ln, stop: make(chan struct{}), done: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -58,27 +67,62 @@ func (s *Server) Stats() (frames int, bytes uint64, corrupt int) {
 }
 
 // Close stops accepting, closes the listener, and waits for all
-// connection handlers to drain.
+// connection handlers to drain. The first call returns the listener's
+// close error (nil on a clean shutdown); subsequent calls return
+// ErrServerClosed.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
 	close(s.stop)
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
 }
 
+// Wait blocks until the accept loop has exited and reports why:
+// ErrServerClosed after a clean Close, or the fatal accept error that
+// tore the loop down.
+func (s *Server) Wait() error {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loopErr
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	defer close(s.done)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			select {
 			case <-s.stop:
+				// Caller-initiated shutdown.
+				s.mu.Lock()
+				s.loopErr = ErrServerClosed
+				s.mu.Unlock()
 				return
 			default:
-				// Transient accept error: keep serving.
-				continue
 			}
+			if errors.Is(err, net.ErrClosed) {
+				// Listener died without Close: a real failure.
+				s.mu.Lock()
+				s.loopErr = err
+				s.mu.Unlock()
+				return
+			}
+			// Transient accept error: keep serving.
+			continue
 		}
+		// Add happens on the accept-loop goroutine, whose own wg entry
+		// (taken in Serve) is still held — so the counter can never be
+		// observed at zero by a concurrent Close/Wait while handlers
+		// are still being registered.
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -90,17 +134,23 @@ func (s *Server) acceptLoop() {
 // handle processes one device connection until EOF or shutdown.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	// Unblock blocked reads on shutdown.
+	// A watcher unblocks the read loop on shutdown by expiring the
+	// connection deadline. Its lifetime is strictly inside handle's (we
+	// join it before returning), so it needs no WaitGroup entry of its
+	// own — the handler's entry covers it, and no Add can race Wait.
 	done := make(chan struct{})
-	defer close(done)
-	s.wg.Add(1)
+	watcherDone := make(chan struct{})
 	go func() {
-		defer s.wg.Done()
+		defer close(watcherDone)
 		select {
 		case <-s.stop:
 			conn.SetDeadline(time.Now())
 		case <-done:
 		}
+	}()
+	defer func() {
+		close(done)
+		<-watcherDone
 	}()
 
 	var served uint64
@@ -147,7 +197,3 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 }
-
-// ErrServerClosed is reserved for future use by callers distinguishing
-// clean shutdowns.
-var ErrServerClosed = errors.New("stream: server closed")

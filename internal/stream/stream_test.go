@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -300,5 +301,73 @@ func TestServerCloseUnblocksHandlers(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Error("dial to a dead port must error")
+	}
+}
+
+func TestServerCloseReportsErrServerClosed(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	// Wait distinguishes a clean caller-initiated shutdown.
+	if err := srv.Wait(); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Wait after clean close = %v, want ErrServerClosed", err)
+	}
+	// Repeat closes are idempotent and identify the closed state.
+	if err := srv.Close(); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("second close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestServerCloseRacesNewConnections(t *testing.T) {
+	// Connections keep arriving while Close runs: the restructured
+	// handler registration must never trip the WaitGroup (all Adds
+	// happen on goroutines whose own entries are still held), and Close
+	// must still return promptly. Run with -race to check the old
+	// Add-vs-Wait hazard.
+	srv, err := Serve("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	stop := make(chan struct{})
+	var dialers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		dialers.Add(1)
+		go func() {
+			defer dialers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := Dial(addr)
+				if err != nil {
+					return // listener gone: server closing
+				}
+				_ = c.SendFrame(Frame{ID: 1, Payload: []byte("x")})
+				c.Close()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("close hung while connections raced in")
+	}
+	close(stop)
+	dialers.Wait()
+	if err := srv.Wait(); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Wait = %v", err)
 	}
 }

@@ -1,0 +1,103 @@
+package qarv
+
+// Option configures a Session. Options are applied in order by
+// NewSession, which then resolves scenario defaults and validates the
+// assembled configuration exactly once.
+type Option func(*sessionConfig)
+
+// sessionConfig is the raw accumulation of options before NewSession
+// resolves and validates it into a runnable Session.
+type sessionConfig struct {
+	scenario   *Scenario
+	policy     Policy
+	arrivals   ArrivalProcess
+	service    ServiceProcess
+	cost       CostModel
+	utility    UtilityModel
+	slots      int
+	slotsSet   bool
+	maxBacklog float64
+	maxSet     bool
+	devices    []Device
+	offload    *OffloadParams
+	link       *LinkConfig
+	observers  []func(SlotEvent)
+}
+
+// WithScenario seeds the session from a calibrated Scenario: its cost,
+// utility, service rate, horizon, and (unless overridden by WithPolicy)
+// its drift-plus-penalty controller. Any other option applied alongside
+// overrides the scenario's corresponding field.
+func WithScenario(s *Scenario) Option {
+	return func(c *sessionConfig) { c.scenario = s }
+}
+
+// WithPolicy sets the depth-selection policy driving the run.
+func WithPolicy(p Policy) Option {
+	return func(c *sessionConfig) { c.policy = p }
+}
+
+// WithArrivals sets the frame arrival process (default: one frame per
+// slot, the paper's setting, when a scenario supplies the rest).
+func WithArrivals(a ArrivalProcess) Option {
+	return func(c *sessionConfig) { c.arrivals = a }
+}
+
+// WithService sets the per-slot service (device capacity) process.
+func WithService(s ServiceProcess) Option {
+	return func(c *sessionConfig) { c.service = s }
+}
+
+// WithCost sets the depth→workload cost model a(d).
+func WithCost(m CostModel) Option {
+	return func(c *sessionConfig) { c.cost = m }
+}
+
+// WithUtility sets the depth→quality utility model pa(d).
+func WithUtility(u UtilityModel) Option {
+	return func(c *sessionConfig) { c.utility = u }
+}
+
+// WithSlots sets the simulation horizon T.
+func WithSlots(n int) Option {
+	return func(c *sessionConfig) { c.slots = n; c.slotsSet = true }
+}
+
+// WithMaxBacklog bounds the queue; overflow drops work (single-device
+// sessions only).
+func WithMaxBacklog(b float64) Option {
+	return func(c *sessionConfig) { c.maxBacklog = b; c.maxSet = true }
+}
+
+// WithDevices switches the session to a shared-service multi-device run:
+// each device brings its own policy, cost, utility, and arrivals, and
+// the session's service budget is split equally among them.
+func WithDevices(devs ...Device) Option {
+	return func(c *sessionConfig) { c.devices = append(c.devices, devs...) }
+}
+
+// WithOffload switches the session to the edge-offload scenario: octree
+// streams over an emulated uplink, the controller stabilizing the
+// transmit queue. WithSlots still applies; the remaining knobs live on
+// OffloadParams (and WithLink).
+func WithOffload(p OffloadParams) Option {
+	return func(c *sessionConfig) { c.offload = &p }
+}
+
+// WithLink shapes the offload session's uplink exactly: BytesPerSlot
+// (when positive) fixes the bandwidth, LatencySlots/JitterSlots/LossProb
+// are used verbatim — zeros included, so lossless or zero-latency links
+// are expressible — and Seed (when nonzero) drives the link's RNG
+// independently of the capture seed. Shape values are validated at
+// NewSession. Only valid together with WithOffload.
+func WithLink(l LinkConfig) Option {
+	return func(c *sessionConfig) { c.link = &l }
+}
+
+// WithObserver registers a per-slot hook invoked synchronously from the
+// run loop with every slot's decision and queue transition — streaming
+// and tracing consumers subscribe here instead of post-processing full
+// trajectories. Multiple observers are invoked in registration order.
+func WithObserver(fn func(SlotEvent)) Option {
+	return func(c *sessionConfig) { c.observers = append(c.observers, fn) }
+}

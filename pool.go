@@ -1,0 +1,103 @@
+package qarv
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SessionPool runs a batch of sessions concurrently over a fixed-size
+// worker pool with deterministic result ordering: reports[i] always
+// belongs to the i-th runner regardless of scheduling, so a concurrent
+// sweep is byte-identical to the sequential loop it replaces (sessions
+// must not share stateful policies or RNGs — give each its own, as
+// NewSession-per-point sweeps naturally do).
+//
+// The first session error cancels the shared context, aborting the
+// in-flight runs and skipping the unstarted ones, errgroup-style.
+type SessionPool struct {
+	workers int
+	runners []Runner
+}
+
+// NewSessionPool builds a pool over the given runners. workers bounds
+// concurrency; <= 0 takes GOMAXPROCS.
+func NewSessionPool(workers int, runners ...Runner) *SessionPool {
+	return &SessionPool{workers: workers, runners: runners}
+}
+
+// Add appends runners to the pool (not safe during Run).
+func (p *SessionPool) Add(runners ...Runner) { p.runners = append(p.runners, runners...) }
+
+// Len reports how many runners the pool holds.
+func (p *SessionPool) Len() int { return len(p.runners) }
+
+// Run executes every runner and returns their reports in submission
+// order. On the first error the remaining work is canceled and that
+// error (annotated with the failing session's index) is returned.
+func (p *SessionPool) Run(ctx context.Context) ([]*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.runners) {
+		workers = len(p.runners)
+	}
+
+	reports := make([]*Report, len(p.runners))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep, err := p.runners[i].Run(ctx)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("qarv: session %d: %w", i, err)
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	fed := 0
+feed:
+	for i := range p.runners {
+		select {
+		case jobs <- i:
+			fed++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if fed < len(p.runners) {
+		// Cancellation stopped the feed before every session ran, so the
+		// batch is incomplete. (A cancel arriving after all sessions were
+		// fed and finished cleanly does NOT discard the batch —
+		// errgroup-style, only worker errors and unstarted work count.)
+		return nil, ctx.Err()
+	}
+	return reports, nil
+}

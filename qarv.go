@@ -12,7 +12,31 @@
 // exported names below are the supported public API; see DESIGN.md for the
 // system inventory and EXPERIMENTS.md for paper-vs-measured results.
 //
-// Quick start:
+// # Sessions
+//
+// Every scenario — the single-device slotted simulation, the shared-budget
+// multi-device run, and the edge-offload uplink run — is driven through
+// one composable entry point, the Session: a functional-options builder
+// that validates once and runs under a context.
+//
+//	scn, _ := qarv.NewScenario(qarv.ScenarioParams{})
+//	s, _ := qarv.NewSession(qarv.WithScenario(scn))
+//	rep, _ := s.Run(ctx) // honors ctx cancellation down the slot loops
+//	fmt.Println(rep.Verdict, rep.TimeAvgUtility, rep.TimeAvgBacklog)
+//
+// Options override any scenario default (WithPolicy, WithArrivals,
+// WithService, WithCost, WithUtility, WithSlots, WithMaxBacklog), switch
+// scenario kind (WithDevices, WithOffload, WithLink), and attach per-slot
+// streaming hooks (WithObserver). Sweeps run N sessions concurrently with
+// deterministic result ordering through a SessionPool:
+//
+//	pool := qarv.NewSessionPool(0, s1, s2, s3) // 0 = GOMAXPROCS workers
+//	reports, _ := pool.Run(ctx)                // reports[i] belongs to si
+//
+// The legacy flat entry points (RunSim, RunMulti, Offload) remain as thin
+// deprecated wrappers over Session; see MIGRATION.md.
+//
+// # Building blocks
 //
 //	cloud, _ := qarv.GenerateBody(qarv.BodyConfig{}, qarv.Pose{})
 //	tree, _ := qarv.BuildOctree(cloud, 10)
@@ -22,6 +46,7 @@
 package qarv
 
 import (
+	"context"
 	"io"
 
 	"qarv/internal/core"
@@ -258,6 +283,11 @@ type (
 	Device = sim.Device
 	// MultiConfig describes a shared-service multi-device run.
 	MultiConfig = sim.MultiConfig
+	// MultiResult aggregates per-device results of a shared run.
+	MultiResult = sim.MultiResult
+	// SlotEvent is one slot's control decision and queue transition,
+	// delivered to WithObserver hooks as the loop runs.
+	SlotEvent = sim.SlotEvent
 )
 
 // Trajectory verdicts.
@@ -268,10 +298,55 @@ const (
 )
 
 // RunSim executes one slotted simulation.
-func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+//
+// Deprecated: build a Session instead — NewSession(WithPolicy(...), ...,
+// WithSlots(n)).Run(ctx) — which adds context cancellation, observers,
+// and pooling. RunSim remains as a thin wrapper and produces identical
+// results for identical configurations.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	opts := []Option{
+		WithPolicy(cfg.Policy), WithArrivals(cfg.Arrivals), WithCost(cfg.Cost),
+		WithUtility(cfg.Utility), WithService(cfg.Service), WithSlots(cfg.Slots),
+		WithMaxBacklog(cfg.MaxBacklog),
+	}
+	if cfg.Observer != nil {
+		opts = append(opts, WithObserver(cfg.Observer))
+	}
+	s, err := NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Sim, nil
+}
 
 // RunMulti executes a shared-service multi-device simulation.
-func RunMulti(cfg MultiConfig) (*sim.MultiResult, error) { return sim.RunMulti(cfg) }
+//
+// Deprecated: use NewSession(WithDevices(...), WithService(...),
+// WithSlots(n)).Run(ctx). RunMulti remains as a thin wrapper.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) {
+	if len(cfg.Devices) == 0 {
+		return nil, sim.ErrNoDevices
+	}
+	opts := []Option{
+		WithDevices(cfg.Devices...), WithService(cfg.Service), WithSlots(cfg.Slots),
+	}
+	if cfg.Observer != nil {
+		opts = append(opts, WithObserver(cfg.Observer))
+	}
+	s, err := NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Multi, nil
+}
 
 // ---------------------------------------------------------------------------
 // Experiments (paper figures + ablations)
@@ -308,7 +383,20 @@ func NewLink(cfg LinkConfig) (*Link, error) { return netem.NewLink(cfg) }
 
 // Offload runs the edge-offload scenario: octree streams over an emulated
 // uplink, the controller stabilizing the transmit queue.
-func Offload(p OffloadParams) (*OffloadResult, error) { return experiments.Offload(p) }
+//
+// Deprecated: use NewSession(WithOffload(p)).Run(ctx), optionally with
+// WithLink for uplink shaping. Offload remains as a thin wrapper.
+func Offload(p OffloadParams) (*OffloadResult, error) {
+	s, err := NewSession(WithOffload(p))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return rep.Offload, nil
+}
 
 type (
 	// RenderConfig controls a software splat render pass.

@@ -1,0 +1,318 @@
+package qarv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qarv/internal/experiments"
+	"qarv/internal/queueing"
+	"qarv/internal/sim"
+)
+
+// SessionKind identifies which scenario a Session drives.
+type SessionKind int
+
+// Session kinds, inferred from the options: WithOffload selects
+// KindOffload, WithDevices selects KindMulti, anything else is a
+// single-device KindSim run.
+const (
+	KindSim SessionKind = iota
+	KindMulti
+	KindOffload
+)
+
+// String implements fmt.Stringer.
+func (k SessionKind) String() string {
+	switch k {
+	case KindSim:
+		return "sim"
+	case KindMulti:
+		return "multi"
+	case KindOffload:
+		return "offload"
+	default:
+		return "unknown"
+	}
+}
+
+// Session construction errors.
+var (
+	// ErrOptionConflict reports options that cannot be combined (e.g.
+	// WithPolicy alongside WithDevices, which carry their own policies).
+	ErrOptionConflict = errors.New("qarv: conflicting session options")
+	// ErrLinkWithoutOffload reports WithLink on a non-offload session.
+	ErrLinkWithoutOffload = errors.New("qarv: WithLink requires WithOffload")
+)
+
+// Runner drives one scenario to completion under a context. Session and
+// everything composed from sessions (SessionPool entries) implement it.
+type Runner interface {
+	// Run executes the scenario, honoring ctx cancellation down through
+	// the slot loops, and returns the unified report.
+	Run(ctx context.Context) (*Report, error)
+}
+
+// Report is the unified result of any session run. Exactly one of Sim,
+// Multi, Offload is non-nil, matching Kind; the summary fields are
+// always populated so sweeps can compare runs without switching on Kind.
+type Report struct {
+	Kind SessionKind
+
+	Sim     *SimResult     // KindSim runs
+	Multi   *MultiResult   // KindMulti runs
+	Offload *OffloadResult // KindOffload runs
+
+	// TimeAvgUtility is the run's time-average quality: the objective (1)
+	// for sim runs, the fleet mean for multi runs, 0 for offload runs
+	// (which track delivery latency instead).
+	TimeAvgUtility float64
+	// TimeAvgBacklog is the run's time-average backlog: constraint (2)
+	// for sim runs, the fleet total for multi runs, and the mean uplink
+	// queue in bytes for offload runs.
+	TimeAvgBacklog float64
+	// Verdict classifies the backlog trajectory (the summed trajectory
+	// for multi runs); zero when the run is too short to classify.
+	Verdict Verdict
+}
+
+// Session is the single entry point for every QARV scenario: a validated,
+// immutable configuration assembled by NewSession from functional options
+// and driven by Run. The same Session value may be Run repeatedly, but
+// note that stateful policies (AutoTuner, the random baseline) carry
+// state across runs — build one Session per run for reproducible sweeps.
+type Session struct {
+	kind    SessionKind
+	simCfg  sim.Config
+	multi   sim.MultiConfig
+	offload experiments.OffloadParams
+}
+
+var _ Runner = (*Session)(nil)
+
+// NewSession validates the options into a runnable Session. A Scenario
+// (WithScenario) supplies defaults — controller, cost, utility, constant
+// service at the calibrated rate, one-frame-per-slot arrivals, and the
+// horizon — each overridable by the matching option. Structural
+// validation happens here, once; sim and multi sessions cannot fail on
+// configuration at Run. Offload sessions can still fail at Run on
+// conditions only discoverable against the measured capture (e.g. a
+// fixed bandwidth at or above bytes(d_max), which V-calibration
+// rejects).
+func NewSession(opts ...Option) (*Session, error) {
+	var c sessionConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	obs := fanOut(c.observers)
+
+	switch {
+	case c.offload != nil:
+		if c.scenario != nil || c.policy != nil || c.arrivals != nil || c.service != nil ||
+			c.cost != nil || c.utility != nil || c.maxSet || len(c.devices) > 0 {
+			return nil, fmt.Errorf("%w: offload sessions configure capture and control through OffloadParams (WithSlots, WithLink, WithObserver still apply)", ErrOptionConflict)
+		}
+		p := *c.offload
+		if c.slotsSet {
+			if c.slots <= 0 {
+				return nil, fmt.Errorf("%w: %d", sim.ErrBadSlots, c.slots)
+			}
+			p.Slots = c.slots
+		}
+		if c.link != nil {
+			// The link config is authoritative, zeros included — a
+			// lossless or zero-latency uplink is expressible here where
+			// OffloadParams' scalar fields would re-default it.
+			p.Link = c.link
+		}
+		p.Observer = chainObservers(p.Observer, obs)
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return &Session{kind: KindOffload, offload: p}, nil
+
+	case len(c.devices) > 0:
+		if c.policy != nil || c.arrivals != nil || c.cost != nil || c.utility != nil || c.maxSet {
+			return nil, fmt.Errorf("%w: multi-device sessions configure policy, cost, utility, and arrivals per Device", ErrOptionConflict)
+		}
+		if c.link != nil {
+			return nil, ErrLinkWithoutOffload
+		}
+		cfg := sim.MultiConfig{
+			Devices:  c.devices,
+			Service:  c.service,
+			Slots:    c.slots,
+			Observer: obs,
+		}
+		if c.scenario != nil {
+			if cfg.Service == nil {
+				// The conventional budget: N× the calibrated single-device
+				// rate, split equally (information-free sharing).
+				cfg.Service = &ConstantService{Rate: float64(len(c.devices)) * c.scenario.ServiceRate}
+			}
+			if !c.slotsSet {
+				cfg.Slots = c.scenario.Params.Slots
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return &Session{kind: KindMulti, multi: cfg}, nil
+
+	default:
+		if c.link != nil {
+			return nil, ErrLinkWithoutOffload
+		}
+		cfg := sim.Config{
+			Policy:     c.policy,
+			Arrivals:   c.arrivals,
+			Cost:       c.cost,
+			Utility:    c.utility,
+			Service:    c.service,
+			Slots:      c.slots,
+			MaxBacklog: c.maxBacklog,
+			Observer:   obs,
+		}
+		if c.scenario != nil {
+			base := c.scenario.SimConfig(nil)
+			if cfg.Policy == nil {
+				ctrl, err := c.scenario.Controller()
+				if err != nil {
+					return nil, err
+				}
+				cfg.Policy = ctrl
+			}
+			if cfg.Arrivals == nil {
+				cfg.Arrivals = base.Arrivals
+			}
+			if cfg.Cost == nil {
+				cfg.Cost = base.Cost
+			}
+			if cfg.Utility == nil {
+				cfg.Utility = base.Utility
+			}
+			if cfg.Service == nil {
+				cfg.Service = base.Service
+			}
+			if !c.slotsSet {
+				cfg.Slots = base.Slots
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return &Session{kind: KindSim, simCfg: cfg}, nil
+	}
+}
+
+// Kind reports which scenario the session drives.
+func (s *Session) Kind() SessionKind { return s.kind }
+
+// Run executes the session. Cancellation of ctx is honored down through
+// the slot loops: even a million-slot run aborts within a poll stride
+// (queueing.PollEvery slots) of the cancel, returning the context's
+// error wrapped with the slot it stopped at.
+func (s *Session) Run(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch s.kind {
+	case KindOffload:
+		res, err := experiments.OffloadContext(ctx, s.offload)
+		if err != nil {
+			return nil, err
+		}
+		return offloadReport(res), nil
+	case KindMulti:
+		res, err := sim.RunMultiContext(ctx, s.multi)
+		if err != nil {
+			return nil, err
+		}
+		return multiReport(res), nil
+	default:
+		res, err := sim.RunContext(ctx, s.simCfg)
+		if err != nil {
+			return nil, err
+		}
+		return simReport(res), nil
+	}
+}
+
+// fanOut folds the registered observers into a single sim.Observer
+// invoking them in registration order (nil when none registered).
+func fanOut(observers []func(SlotEvent)) sim.Observer {
+	switch len(observers) {
+	case 0:
+		return nil
+	case 1:
+		return observers[0]
+	default:
+		obs := observers
+		return func(e SlotEvent) {
+			for _, fn := range obs {
+				fn(e)
+			}
+		}
+	}
+}
+
+// chainObservers composes two optional observers, preserving order.
+func chainObservers(a, b sim.Observer) sim.Observer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(e SlotEvent) { a(e); b(e) }
+}
+
+func simReport(res *sim.Result) *Report {
+	rep := &Report{
+		Kind:           KindSim,
+		Sim:            res,
+		TimeAvgUtility: res.TimeAvgUtility,
+		TimeAvgBacklog: res.TimeAvgBacklog,
+	}
+	if v, err := res.Verdict(); err == nil {
+		rep.Verdict = v
+	}
+	return rep
+}
+
+func multiReport(res *sim.MultiResult) *Report {
+	rep := &Report{
+		Kind:           KindMulti,
+		Multi:          res,
+		TimeAvgUtility: res.MeanTimeAvgUtility,
+		TimeAvgBacklog: res.TotalTimeAvgBacklog,
+	}
+	if len(res.PerDevice) > 0 {
+		sum := make([]float64, len(res.PerDevice[0].Backlog))
+		for _, r := range res.PerDevice {
+			for i, q := range r.Backlog {
+				sum[i] += q
+			}
+		}
+		if v, err := queueing.ClassifyTrajectory(sum, 0); err == nil {
+			rep.Verdict = v
+		}
+	}
+	return rep
+}
+
+func offloadReport(res *experiments.OffloadResult) *Report {
+	rep := &Report{
+		Kind:    KindOffload,
+		Offload: res,
+		Verdict: res.Verdict,
+	}
+	var sum float64
+	for _, q := range res.BacklogBytes {
+		sum += q
+	}
+	if n := len(res.BacklogBytes); n > 0 {
+		rep.TimeAvgBacklog = sum / float64(n)
+	}
+	return rep
+}
