@@ -8,6 +8,11 @@
 //	qarvsim [-policy proposed|max|min|random|threshold|fixed:N]
 //	        [-v V] [-knee SLOT] [-slots T] [-samples N] [-service-frac F]
 //	        [-seed S] [-chart]
+//	        [-devices N] [-alloc equal|proportional|maxweight|wrr]
+//
+// With -devices N the run becomes the shared-edge multi-device scenario:
+// N copies of the chosen policy contend for N× the calibrated service
+// budget, split per slot by the -alloc strategy.
 package main
 
 import (
@@ -50,8 +55,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serviceFrac := fs.Float64("service-frac", 0.6, "service rate position in (a(d_max-1), a(d_max))")
 	seed := fs.Int64("seed", 1, "random seed")
 	chart := fs.Bool("chart", false, "render ASCII backlog/depth charts")
+	devices := fs.Int("devices", 0, "run N devices sharing the edge budget (0 = single device)")
+	allocName := fs.String("alloc", "", "multi-device budget split: equal, proportional, maxweight, wrr (default equal)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *allocName != "" && *devices <= 0 {
+		return fmt.Errorf("-alloc %q requires -devices", *allocName)
 	}
 
 	scn, err := qarv.NewScenario(qarv.ScenarioParams{
@@ -68,6 +78,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// Calibration isn't cancelable; honor a Ctrl-C that arrived during it.
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if *devices > 0 {
+		return runMulti(ctx, out, scn, *devices, *allocName, *policyName, *vOverride, uint64(*seed), *chart)
 	}
 	p, err := buildPolicy(*policyName, *vOverride, scn, uint64(*seed))
 	if err != nil {
@@ -124,6 +137,72 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 		if err := dep.RenderASCII(out, trace.ChartOptions{Title: "Control action (# of depth)", Height: 8}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runMulti drives the shared-edge multi-device scenario: n copies of the
+// chosen policy (each a fresh instance acting on purely local state)
+// contend for n× the calibrated budget under the named allocator.
+func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, allocName, policyName string, vOverride float64, seed uint64, chart bool) error {
+	if allocName == "" {
+		allocName = "equal"
+	}
+	allocator, err := qarv.AllocatorByName(allocName)
+	if err != nil {
+		return err
+	}
+	devs := make([]qarv.Device, n)
+	for i := range devs {
+		p, err := buildPolicy(policyName, vOverride, scn, seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		devs[i] = qarv.Device{
+			Policy:   p,
+			Cost:     scn.Cost,
+			Utility:  scn.Utility,
+			Arrivals: &qarv.DeterministicArrivals{PerSlot: 1},
+		}
+	}
+	sess, err := qarv.NewSession(qarv.WithScenario(scn),
+		qarv.WithDevices(devs...), qarv.WithAllocator(allocator))
+	if err != nil {
+		return err
+	}
+	rep, err := sess.Run(ctx)
+	if err != nil {
+		return err
+	}
+	res := rep.Multi
+	fmt.Fprintf(out, "policy            %s\n", devs[0].Policy.Name())
+	fmt.Fprintf(out, "devices           %d\n", n)
+	fmt.Fprintf(out, "allocator         %s\n", res.Allocator)
+	fmt.Fprintf(out, "edge budget       %.0f points/slot\n", float64(n)*scn.ServiceRate)
+	fmt.Fprintf(out, "fleet verdict     %s\n", rep.Verdict)
+	fmt.Fprintf(out, "mean utility      %.4f\n", res.MeanTimeAvgUtility)
+	fmt.Fprintf(out, "total avg backlog %.0f\n", res.TotalTimeAvgBacklog)
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "device  verdict     avg backlog  completed  mean sojourn")
+	for i, r := range res.PerDevice {
+		verdict, err := r.Verdict()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%6d  %-10s  %11.0f  %9d  %12.2f\n",
+			i, verdict, r.TimeAvgBacklog, len(r.Completed), r.MeanSojourn)
+	}
+	if chart {
+		tab := trace.NewTable("Time step", len(res.PerDevice[0].Backlog))
+		for i, r := range res.PerDevice {
+			if err := tab.Add(trace.Series{Name: fmt.Sprintf("device %d", i), Values: r.Backlog}); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(out)
+		if err := tab.RenderASCII(out, trace.ChartOptions{Title: "Per-device queue backlog"}); err != nil {
 			return err
 		}
 	}

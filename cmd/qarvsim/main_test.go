@@ -70,6 +70,45 @@ func TestRunVOverride(t *testing.T) {
 	}
 }
 
+func TestRunMultiDeviceAllocator(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), simArgs("-devices", "3", "-alloc", "maxweight"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "allocator         max-weight") {
+		t.Errorf("allocator not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "devices           3") {
+		t.Errorf("device count not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "mean sojourn") {
+		t.Errorf("per-device frame accounting missing:\n%s", s)
+	}
+}
+
+func TestRunMultiDeviceChart(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), simArgs("-devices", "2", "-chart"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Per-device queue backlog") ||
+		!strings.Contains(s, "device 1") {
+		t.Errorf("per-device chart missing:\n%s", s)
+	}
+}
+
+func TestRunMultiDeviceDefaultAllocator(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), simArgs("-devices", "2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allocator         equal-split") {
+		t.Errorf("default allocator not equal-split:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(context.Background(), simArgs("-policy", "alchemy"), &bytes.Buffer{}); err == nil {
 		t.Error("unknown policy must error")
@@ -79,5 +118,11 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-bogus"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad flag must error")
+	}
+	if err := run(context.Background(), simArgs("-alloc", "maxweight"), &bytes.Buffer{}); err == nil {
+		t.Error("-alloc without -devices must error")
+	}
+	if err := run(context.Background(), simArgs("-devices", "2", "-alloc", "fifo"), &bytes.Buffer{}); err == nil {
+		t.Error("unknown allocator must error")
 	}
 }

@@ -1,0 +1,281 @@
+// Package alloc is the pluggable service-allocation subsystem of the
+// shared-edge multi-device scenario: given the per-slot edge budget and
+// the backlogs the devices observed at the start of the slot, an
+// Allocator decides each device's share of the budget. The paper's
+// multi-device claim (§II) is exercised with the information-free
+// EqualSplit; the other strategies use exactly the backlog information
+// the edge server can see (queue lengths, not device internals), so the
+// devices themselves stay fully distributed — only the server-side split
+// changes. Ren et al. ("An Edge-Computing Based Architecture for Mobile
+// Augmented Reality") and Chen et al. ("Learn to Optimize Resource
+// Allocation under QoS Constraint of AR") study this split as the main
+// lever; this package makes it a first-class, swappable policy.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Allocator splits one slot's shared service budget across devices.
+//
+// Implementations fill shares (len(shares) == len(backlogs)) with
+// non-negative values summing to at most budget; work-conserving
+// strategies sum to exactly budget. backlogs[i] is device i's queue
+// observed at the start of the slot — allocation happens before the
+// slot's arrivals, so strategies that clamp shares to backlogs should
+// redistribute the surplus rather than idle it if they want same-slot
+// arrivals served. Allocators may keep per-run state (rotation pointers,
+// deficit counters) and are not safe for concurrent use; build one per
+// run, as sessions do.
+type Allocator interface {
+	Allocate(t int, budget float64, backlogs, shares []float64)
+	// Name identifies the strategy in traces and ablation rows.
+	Name() string
+}
+
+// EqualSplit is the paper's information-free baseline: every device gets
+// budget/N regardless of backlogs, preserving full distribution (no
+// queue state crosses the air interface). This reproduces the
+// pre-allocator multi-device behavior bit-for-bit.
+type EqualSplit struct{}
+
+// Allocate implements Allocator.
+func (EqualSplit) Allocate(_ int, budget float64, _, shares []float64) {
+	n := len(shares)
+	if n == 0 {
+		return
+	}
+	share := budget / float64(n)
+	for i := range shares {
+		shares[i] = share
+	}
+}
+
+// Name implements Allocator.
+func (EqualSplit) Name() string { return "equal-split" }
+
+// ProportionalBacklog grants each device a share proportional to its
+// observed backlog — the fluid analogue of proportional-fair scheduling.
+// A ReserveFraction of the budget (clamped to [0,1]) is always split
+// equally so empty queues can serve their same-slot arrivals; with all
+// backlogs zero the whole budget splits equally.
+type ProportionalBacklog struct {
+	ReserveFraction float64
+}
+
+// Allocate implements Allocator.
+func (a *ProportionalBacklog) Allocate(_ int, budget float64, backlogs, shares []float64) {
+	n := len(shares)
+	if n == 0 {
+		return
+	}
+	var total float64
+	for _, q := range backlogs {
+		if q > 0 {
+			total += q
+		}
+	}
+	reserve := a.ReserveFraction
+	if reserve < 0 {
+		reserve = 0
+	} else if reserve > 1 {
+		reserve = 1
+	}
+	if total <= 0 {
+		reserve = 1
+	}
+	per := reserve * budget / float64(n)
+	rest := budget - reserve*budget
+	for i := range shares {
+		shares[i] = per
+		if total > 0 && backlogs[i] > 0 {
+			shares[i] += rest * backlogs[i] / total
+		}
+	}
+}
+
+// Name implements Allocator.
+func (a *ProportionalBacklog) Name() string { return "proportional-backlog" }
+
+// MaxWeight serves the longest queues first: devices are granted up to
+// their observed backlog in descending backlog order, and whatever
+// budget remains once every backlog is covered is split equally (so
+// same-slot arrivals are still served and an idle system behaves like
+// EqualSplit). It is work-conserving — capacity is never idled while any
+// observed queue is non-empty — the classic throughput-optimal policy.
+type MaxWeight struct {
+	idx []int // scratch, reused across slots
+}
+
+// NewMaxWeight returns a longest-queue-first allocator.
+func NewMaxWeight() *MaxWeight { return &MaxWeight{} }
+
+// Allocate implements Allocator.
+func (a *MaxWeight) Allocate(_ int, budget float64, backlogs, shares []float64) {
+	n := len(shares)
+	if n == 0 {
+		return
+	}
+	if cap(a.idx) < n {
+		a.idx = make([]int, n)
+	}
+	idx := a.idx[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	// Descending backlog, ties broken by device index for determinism.
+	sort.SliceStable(idx, func(x, y int) bool {
+		return backlogs[idx[x]] > backlogs[idx[y]]
+	})
+	remaining := budget
+	for i := range shares {
+		shares[i] = 0
+	}
+	for _, i := range idx {
+		if remaining <= 0 {
+			break
+		}
+		g := backlogs[i]
+		if g < 0 {
+			g = 0
+		}
+		if g > remaining {
+			g = remaining
+		}
+		shares[i] = g
+		remaining -= g
+	}
+	if remaining > 0 {
+		per := remaining / float64(n)
+		for i := range shares {
+			shares[i] += per
+		}
+	}
+}
+
+// Name implements Allocator.
+func (a *MaxWeight) Name() string { return "max-weight" }
+
+// wrrCreditSlots caps a device's accumulated deficit credit at this many
+// slots' worth of its quantum, bounding how large a burst an idle device
+// can later claim.
+const wrrCreditSlots = 4
+
+// WeightedRoundRobin is a fluid deficit-round-robin scheduler: each slot
+// every device is credited a quantum proportional to its weight, and
+// devices are granted min(credit, backlog) in rotating cyclic order. A
+// second cyclic pass hands leftover budget to devices with uncovered
+// backlog (work conservation), and anything still left splits equally so
+// same-slot arrivals are served. Missing or non-positive weights default
+// to 1.
+type WeightedRoundRobin struct {
+	weights []float64
+	deficit []float64
+	start   int
+}
+
+// NewWeightedRoundRobin returns a deficit-round-robin allocator; the
+// i-th weight belongs to device i (missing entries weigh 1).
+func NewWeightedRoundRobin(weights ...float64) *WeightedRoundRobin {
+	return &WeightedRoundRobin{weights: weights}
+}
+
+func (a *WeightedRoundRobin) weight(i int) float64 {
+	if i < len(a.weights) && a.weights[i] > 0 {
+		return a.weights[i]
+	}
+	return 1
+}
+
+// Allocate implements Allocator.
+func (a *WeightedRoundRobin) Allocate(_ int, budget float64, backlogs, shares []float64) {
+	n := len(shares)
+	if n == 0 {
+		return
+	}
+	if len(a.deficit) < n {
+		a.deficit = append(a.deficit, make([]float64, n-len(a.deficit))...)
+	}
+	var sumW float64
+	for i := 0; i < n; i++ {
+		sumW += a.weight(i)
+	}
+	for i := 0; i < n; i++ {
+		quantum := budget * a.weight(i) / sumW
+		a.deficit[i] += quantum
+		if maxCredit := wrrCreditSlots * quantum; a.deficit[i] > maxCredit {
+			a.deficit[i] = maxCredit
+		}
+	}
+	remaining := budget
+	for i := range shares {
+		shares[i] = 0
+	}
+	// Pass 1: grant min(credit, backlog) in rotating cyclic order.
+	for k := 0; k < n && remaining > 0; k++ {
+		i := (a.start + k) % n
+		g := a.deficit[i]
+		if q := backlogs[i]; g > q {
+			g = q
+		}
+		if g < 0 {
+			g = 0
+		}
+		if g > remaining {
+			g = remaining
+		}
+		shares[i] = g
+		a.deficit[i] -= g
+		remaining -= g
+	}
+	// Pass 2 (work conservation): leftover budget to uncovered backlog,
+	// same cyclic order, beyond deficit credit.
+	for k := 0; k < n && remaining > 0; k++ {
+		i := (a.start + k) % n
+		g := backlogs[i] - shares[i]
+		if g <= 0 {
+			continue
+		}
+		if g > remaining {
+			g = remaining
+		}
+		shares[i] += g
+		remaining -= g
+	}
+	if remaining > 0 {
+		per := remaining / float64(n)
+		for i := range shares {
+			shares[i] += per
+		}
+	}
+	a.start = (a.start + 1) % n
+}
+
+// Name implements Allocator.
+func (a *WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// ErrUnknownAllocator reports a ByName lookup miss.
+var ErrUnknownAllocator = errors.New("alloc: unknown allocator")
+
+// Names lists the strategy names ByName accepts.
+func Names() []string { return []string{"equal", "proportional", "maxweight", "wrr"} }
+
+// ByName builds a fresh allocator from a CLI-friendly name: "equal",
+// "proportional", "maxweight", or "wrr".
+func ByName(name string) (Allocator, error) {
+	switch strings.ToLower(name) {
+	case "equal", "equal-split":
+		return EqualSplit{}, nil
+	case "proportional", "prop", "proportional-backlog":
+		return &ProportionalBacklog{}, nil
+	case "maxweight", "max-weight":
+		return NewMaxWeight(), nil
+	case "wrr", "weighted-round-robin":
+		return NewWeightedRoundRobin(), nil
+	default:
+		return nil, fmt.Errorf("%w: %q (want one of %s)", ErrUnknownAllocator, name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,230 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qarv/internal/geom"
+)
+
+const eps = 1e-9
+
+// covered returns the backlogged work an allocation actually reaches:
+// Σ min(share_i, backlog_i). A work-conserving allocator must cover
+// min(budget, Σ backlog).
+func covered(shares, backlogs []float64) float64 {
+	var s float64
+	for i := range shares {
+		s += math.Min(shares[i], backlogs[i])
+	}
+	return s
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func allAllocators() []Allocator {
+	return []Allocator{
+		EqualSplit{},
+		&ProportionalBacklog{},
+		&ProportionalBacklog{ReserveFraction: 0.2},
+		NewMaxWeight(),
+		NewWeightedRoundRobin(),
+		NewWeightedRoundRobin(3, 1, 1, 1),
+	}
+}
+
+func TestAllocatorsRespectBudgetAndNonNegativity(t *testing.T) {
+	rng := geom.NewRNG(11)
+	for _, a := range allAllocators() {
+		backlogs := make([]float64, 6)
+		shares := make([]float64, 6)
+		for slot := 0; slot < 500; slot++ {
+			budget := rng.Range(0, 100)
+			for i := range backlogs {
+				backlogs[i] = rng.Range(0, 80)
+			}
+			a.Allocate(slot, budget, backlogs, shares)
+			for i, s := range shares {
+				if s < -eps {
+					t.Fatalf("%s slot %d: negative share %v for device %d", a.Name(), slot, s, i)
+				}
+			}
+			if got := sum(shares); got > budget+eps {
+				t.Fatalf("%s slot %d: shares sum %v exceeds budget %v", a.Name(), slot, got, budget)
+			}
+		}
+	}
+}
+
+func TestEqualSplitIsInformationFree(t *testing.T) {
+	var a EqualSplit
+	shares := make([]float64, 4)
+	a.Allocate(0, 100, []float64{0, 1e9, 3, 7}, shares)
+	for i, s := range shares {
+		if s != 100.0/4 {
+			t.Errorf("device %d share = %v, want 25", i, s)
+		}
+	}
+	// The exact float expression of the pre-allocator loop.
+	if shares[0] != 100.0/float64(4) {
+		t.Error("equal split must be budget/N bit-for-bit")
+	}
+}
+
+func TestProportionalBacklogProportions(t *testing.T) {
+	a := &ProportionalBacklog{}
+	backlogs := []float64{30, 10, 0, 60}
+	shares := make([]float64, 4)
+	a.Allocate(0, 50, backlogs, shares)
+	want := []float64{15, 5, 0, 30}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > eps {
+			t.Errorf("share[%d] = %v, want %v", i, shares[i], want[i])
+		}
+	}
+	// All-empty falls back to an equal split.
+	a.Allocate(1, 40, []float64{0, 0, 0, 0}, shares)
+	for i, s := range shares {
+		if math.Abs(s-10) > eps {
+			t.Errorf("empty-system share[%d] = %v, want 10", i, s)
+		}
+	}
+	// A reserve guarantees a floor for empty queues.
+	r := &ProportionalBacklog{ReserveFraction: 0.4}
+	r.Allocate(2, 100, []float64{100, 0}, shares[:2])
+	if math.Abs(shares[1]-20) > eps {
+		t.Errorf("reserved share = %v, want 20", shares[1])
+	}
+	if math.Abs(shares[0]-80) > eps {
+		t.Errorf("loaded share = %v, want 80", shares[0])
+	}
+}
+
+func TestMaxWeightServesLongestFirst(t *testing.T) {
+	a := NewMaxWeight()
+	shares := make([]float64, 3)
+	// Budget 10 covers the longest queue (7) then the next (5) partially.
+	a.Allocate(0, 10, []float64{5, 7, 1}, shares)
+	if math.Abs(shares[1]-7) > eps {
+		t.Errorf("longest queue share = %v, want 7", shares[1])
+	}
+	if math.Abs(shares[0]-3) > eps {
+		t.Errorf("second queue share = %v, want 3", shares[0])
+	}
+	if shares[2] != 0 {
+		t.Errorf("shortest queue share = %v, want 0", shares[2])
+	}
+	// Surplus beyond all backlogs splits equally (idle system ≈ equal).
+	a.Allocate(1, 12, []float64{3, 0, 0}, shares)
+	if math.Abs(shares[0]-(3+3)) > eps || math.Abs(shares[1]-3) > eps || math.Abs(shares[2]-3) > eps {
+		t.Errorf("surplus split = %v", shares)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// MaxWeight and WeightedRoundRobin must never idle capacity while
+	// any observed queue is non-empty: covered work == min(budget, Σq).
+	rng := geom.NewRNG(23)
+	for _, a := range []Allocator{NewMaxWeight(), NewWeightedRoundRobin(), NewWeightedRoundRobin(5, 1, 1, 1, 1)} {
+		backlogs := make([]float64, 5)
+		shares := make([]float64, 5)
+		for slot := 0; slot < 1000; slot++ {
+			budget := rng.Range(0, 50)
+			for i := range backlogs {
+				backlogs[i] = rng.Range(0, 30)
+				if rng.Float64() < 0.3 {
+					backlogs[i] = 0
+				}
+			}
+			a.Allocate(slot, budget, backlogs, shares)
+			want := math.Min(budget, sum(backlogs))
+			if got := covered(shares, backlogs); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("%s slot %d: covered %v, want %v (budget %v, backlogs %v, shares %v)",
+					a.Name(), slot, got, want, budget, backlogs, shares)
+			}
+		}
+	}
+}
+
+func TestWeightedRoundRobinHonorsWeights(t *testing.T) {
+	// Two permanently backlogged devices at weights 3:1 must receive
+	// long-run service near 3:1.
+	a := NewWeightedRoundRobin(3, 1)
+	backlogs := []float64{1e12, 1e12}
+	shares := make([]float64, 2)
+	var got [2]float64
+	for slot := 0; slot < 1000; slot++ {
+		a.Allocate(slot, 100, backlogs, shares)
+		got[0] += shares[0]
+		got[1] += shares[1]
+	}
+	if ratio := got[0] / got[1]; math.Abs(ratio-3) > 0.05 {
+		t.Errorf("long-run service ratio = %v, want ~3", ratio)
+	}
+	if math.Abs(got[0]+got[1]-100_000) > 1e-3 {
+		t.Errorf("total service %v, want 100000 (work conserving)", got[0]+got[1])
+	}
+}
+
+func TestWeightedRoundRobinRotatesLeftover(t *testing.T) {
+	// With equal weights and one saturated device, the rotation must not
+	// starve anyone: every device with backlog gets served every slot.
+	a := NewWeightedRoundRobin()
+	shares := make([]float64, 3)
+	for slot := 0; slot < 10; slot++ {
+		a.Allocate(slot, 9, []float64{100, 100, 100}, shares)
+		for i, s := range shares {
+			if s <= 0 {
+				t.Fatalf("slot %d: device %d starved (shares %v)", slot, i, shares)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if a == nil {
+			t.Fatalf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("fifo"); !errors.Is(err, ErrUnknownAllocator) {
+		t.Errorf("unknown name error = %v", err)
+	}
+	// Fresh instances each call: stateful allocators must not be shared.
+	a1, _ := ByName("wrr")
+	a2, _ := ByName("wrr")
+	if a1 == a2 {
+		t.Error("ByName must return fresh instances")
+	}
+}
+
+func TestAllocatorsHandleDegenerateInputs(t *testing.T) {
+	for _, a := range allAllocators() {
+		// Zero devices must not panic.
+		a.Allocate(0, 10, nil, nil)
+		// Zero budget yields zero shares.
+		shares := make([]float64, 2)
+		a.Allocate(1, 0, []float64{5, 5}, shares)
+		if sum(shares) > eps {
+			t.Errorf("%s: zero budget allocated %v", a.Name(), shares)
+		}
+		// Negative backlogs (defensive) must not produce negative shares.
+		a.Allocate(2, 10, []float64{-5, 5}, shares)
+		for _, s := range shares {
+			if s < -eps {
+				t.Errorf("%s: negative share %v", a.Name(), s)
+			}
+		}
+	}
+}

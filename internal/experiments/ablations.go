@@ -243,6 +243,9 @@ type MultiDeviceRow struct {
 	TimeAvgUtility float64
 	TimeAvgBacklog float64
 	Verdict        string
+	// MeanSojourn is the device's average per-frame delay in slots (the
+	// frame accounting multi runs now share with single runs).
+	MeanSojourn float64
 }
 
 // MultiDevice runs n controllers sharing n× the single-device service
@@ -291,6 +294,7 @@ func MultiDeviceContext(ctx context.Context, s *Scenario, n, slots int) ([]Multi
 			TimeAvgUtility: r.TimeAvgUtility,
 			TimeAvgBacklog: r.TimeAvgBacklog,
 			Verdict:        verdict.String(),
+			MeanSojourn:    r.MeanSojourn,
 		}
 	}
 	return rows, nil

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"qarv/internal/alloc"
+	"qarv/internal/netem"
+	"qarv/internal/sim"
+)
+
+func sweepScenario(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioParams{
+		Samples:  40_000,
+		Slots:    800,
+		KneeSlot: 200,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAllocatorSweepShowsAllocationMatters is the acceptance ablation:
+// on the heterogeneous 8-device fleet (mixed arrival rates and cost
+// models), the information-free equal split leaves the heavy device
+// diverging while ProportionalBacklog and MaxWeight stabilize every
+// device from the same budget.
+func TestAllocatorSweepShowsAllocationMatters(t *testing.T) {
+	s := sweepScenario(t)
+	rows, err := AllocatorSweep(s, nil, 0, 1600, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultAllocators()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]AllocatorSweepRow{}
+	for _, r := range rows {
+		byName[r.Allocator] = r
+		if len(r.PerDevice) != 8 {
+			t.Fatalf("%s: %d devices, want 8", r.Allocator, len(r.PerDevice))
+		}
+	}
+	if eq := byName["equal-split"]; eq.Diverging == 0 {
+		t.Error("equal split must leave at least one device diverging")
+	} else if eq.PerDevice[0].Verdict != "diverging" {
+		t.Errorf("expected the heavy device 0 to diverge under equal split, rows %+v", eq.PerDevice)
+	}
+	for _, name := range []string{"proportional-backlog", "max-weight", "weighted-round-robin"} {
+		if r := byName[name]; r.Diverging != 0 {
+			t.Errorf("%s left %d devices diverging", name, r.Diverging)
+		}
+	}
+	// The new accounting reaches the rows: a stabilized fleet completes
+	// frames with measurable sojourns.
+	if mw := byName["max-weight"]; mw.MeanSojourn <= 0 {
+		t.Errorf("max-weight fleet MeanSojourn = %v, want > 0", mw.MeanSojourn)
+	}
+}
+
+func TestFleetMinDemandMatchesSpecs(t *testing.T) {
+	s := sweepScenario(t)
+	aMin := s.Cost.FrameCost(5)
+	specs := []AllocDeviceSpec{{ArrivalsPerSlot: 3, CostScale: 2}, {ArrivalsPerSlot: 1, CostScale: 0.5}}
+	want := 6*aMin + 0.5*aMin
+	if got := FleetMinDemand(s, specs); got != want {
+		t.Errorf("FleetMinDemand = %v, want %v", got, want)
+	}
+}
+
+func TestSharedUplinkFleetDelivers(t *testing.T) {
+	res, err := SharedUplink(SharedUplinkParams{
+		Devices:  3,
+		Samples:  40_000,
+		Slots:    800,
+		KneeSlot: 200,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocator != "equal-split" {
+		t.Errorf("default allocator = %q", res.Allocator)
+	}
+	if res.Bandwidth <= 0 {
+		t.Fatal("bandwidth not sized")
+	}
+	delivered := 0
+	completed := 0
+	for i, row := range res.PerDevice {
+		if row.Verdict == "diverging" {
+			t.Errorf("device %d uplink queue diverged", i)
+		}
+		if row.Delivered == 0 {
+			t.Errorf("device %d delivered nothing", i)
+		}
+		delivered += row.Delivered
+		completed += len(res.Multi.PerDevice[i].Completed)
+	}
+	// Every frame that finished serializing either delivered or was lost
+	// on the propagation leg; the remainder is still queued at the end.
+	if delivered+res.LossCount != completed {
+		t.Errorf("delivered %d + lost %d != %d completed frames", delivered, res.LossCount, completed)
+	}
+	if completed == 0 || completed > 3*800 {
+		t.Errorf("completed %d frames of %d offered", completed, 3*800)
+	}
+	// End-to-end latency must include the propagation floor.
+	if res.MeanLatency <= res.Params.LatencySlots {
+		t.Errorf("mean latency %v below propagation floor %v", res.MeanLatency, res.Params.LatencySlots)
+	}
+	if res.P95Latency < res.MeanLatency {
+		t.Errorf("p95 %v below mean %v", res.P95Latency, res.MeanLatency)
+	}
+}
+
+func TestSharedUplinkAllocatorShiftsContention(t *testing.T) {
+	// A heterogeneous fleet on one uplink: the heavy device's byte queue
+	// must fare no worse under MaxWeight than under the equal split.
+	base := SharedUplinkParams{
+		Specs: []AllocDeviceSpec{
+			{ArrivalsPerSlot: 2, CostScale: 1},
+			{ArrivalsPerSlot: 1, CostScale: 0.5},
+			{ArrivalsPerSlot: 1, CostScale: 0.5},
+		},
+		Samples:  40_000,
+		Slots:    600,
+		KneeSlot: 150,
+		Seed:     3,
+	}
+	equal, err := SharedUplink(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := base
+	mw.Allocator = alloc.NewMaxWeight()
+	shifted, err := SharedUplink(mw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.PerDevice[0].TimeAvgBacklogBytes > equal.PerDevice[0].TimeAvgBacklogBytes*1.05 {
+		t.Errorf("max-weight heavy-device backlog %v worse than equal %v",
+			shifted.PerDevice[0].TimeAvgBacklogBytes, equal.PerDevice[0].TimeAvgBacklogBytes)
+	}
+}
+
+func TestSharedUplinkLosslessLinkOverride(t *testing.T) {
+	// A literal-zeros Link config must be honored verbatim: no loss, no
+	// propagation delay, no jitter — inexpressible through the scalar
+	// fields, whose zeros take defaults.
+	res, err := SharedUplink(SharedUplinkParams{
+		Devices:  2,
+		Link:     &netem.LinkConfig{},
+		Samples:  40_000,
+		Slots:    400,
+		KneeSlot: 100,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossCount != 0 {
+		t.Errorf("lossless link lost %d frames", res.LossCount)
+	}
+	completed := 0
+	for _, r := range res.Multi.PerDevice {
+		completed += len(r.Completed)
+	}
+	delivered := 0
+	for _, row := range res.PerDevice {
+		delivered += row.Delivered
+	}
+	if delivered != completed {
+		t.Errorf("delivered %d != completed %d on a lossless link", delivered, completed)
+	}
+}
+
+func TestSharedUplinkObserverTagsDevices(t *testing.T) {
+	seen := map[int]int{}
+	_, err := SharedUplink(SharedUplinkParams{
+		Devices:  2,
+		Samples:  40_000,
+		Slots:    200,
+		KneeSlot: 100,
+		Seed:     3,
+		Observer: func(e sim.SlotEvent) { seen[e.Device]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 200 || seen[1] != 200 {
+		t.Errorf("per-device event counts = %v", seen)
+	}
+}
+
+func TestOffloadDropWindowValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*OffloadParams)
+	}{
+		{"factor at 1 (no-op)", func(p *OffloadParams) { p.DropFactor = 1 }},
+		{"factor above 1", func(p *OffloadParams) { p.DropFactor = 1.5 }},
+		{"negative factor", func(p *OffloadParams) { p.DropFactor = -0.5 }},
+		{"negative start", func(p *OffloadParams) { p.DropFactor = 0.5; p.DropStart = -10; p.DropEnd = 100 }},
+		{"end before start", func(p *OffloadParams) { p.DropFactor = 0.5; p.DropStart = 200; p.DropEnd = 100 }},
+		{"end at start", func(p *OffloadParams) { p.DropFactor = 0.5; p.DropStart = 200; p.DropEnd = 200 }},
+		{"never restored", func(p *OffloadParams) { p.DropFactor = 0.5; p.DropStart = 100; p.DropEnd = 800 }},
+	}
+	for _, tc := range cases {
+		p := offloadParams()
+		tc.mutate(&p)
+		if err := p.Validate(); !errors.Is(err, ErrBadDropWindow) {
+			t.Errorf("%s: Validate = %v, want ErrBadDropWindow", tc.name, err)
+		}
+		// Direct Offload calls get the same rejection, not a silent no-op.
+		if _, err := Offload(p); !errors.Is(err, ErrBadDropWindow) {
+			t.Errorf("%s: Offload = %v, want ErrBadDropWindow", tc.name, err)
+		}
+	}
+	// A valid window still passes.
+	p := offloadParams()
+	p.DropFactor = 0.5
+	p.DropStart = 100
+	p.DropEnd = 300
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+}
+
+func TestOffloadObserverReportsLoss(t *testing.T) {
+	p := offloadParams()
+	var offered, dropped float64
+	var lossEvents int
+	p.Observer = func(e sim.SlotEvent) {
+		offered += e.Arrived
+		if e.Dropped > 0 {
+			lossEvents++
+			dropped += e.Dropped
+			if e.Dropped != e.Arrived {
+				t.Errorf("slot %d: Dropped %v != Arrived %v for a lost frame", e.Slot, e.Dropped, e.Arrived)
+			}
+		}
+	}
+	res, err := Offload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossEvents != res.LossCount {
+		t.Errorf("observer saw %d losses, result says %d", lossEvents, res.LossCount)
+	}
+	if res.LossCount == 0 {
+		t.Error("1% loss link lost nothing over 800 frames")
+	}
+	// Every offered frame's bytes occupied the uplink: Arrived must sum
+	// to the full byte stream, lost frames included.
+	var want float64
+	for _, d := range res.Depth {
+		want += float64(res.Bytes[d])
+	}
+	if offered != want {
+		t.Errorf("observer Arrived sum %v != offered bytes %v", offered, want)
+	}
+}

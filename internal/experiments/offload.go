@@ -52,16 +52,21 @@ type OffloadParams struct {
 	// KneeSlot and Slots as in ScenarioParams (defaults 400, 800).
 	KneeSlot float64
 	Slots    int
-	// BandwidthDrop, when set, scales the bandwidth by DropFactor during
-	// [DropStart, DropEnd) — the handover/congestion failure injection.
+	// BandwidthDrop, when set (DropFactor > 0), scales the bandwidth by
+	// DropFactor during [DropStart, DropEnd) — the handover/congestion
+	// failure injection. Validate rejects windows that would silently be
+	// a no-op or never restore the bandwidth: DropFactor must be in
+	// (0,1), DropStart non-negative, and DropStart < DropEnd < Slots.
 	DropStart, DropEnd int
 	DropFactor         float64
 	// Observer, when non-nil, receives every slot's event as the control
 	// loop runs. Offload semantics differ from sim runs: Arrived is the
-	// frame's bytes offered to the uplink (0 when link-layer loss drops
-	// it) and Served is always 0 — the link drains continuously rather
-	// than per-slot, so service is observable only through Backlog, and
-	// the sim invariant Q(t+1) = Q(t) + Arrived − Served does not hold.
+	// frame's bytes offered to the uplink (reported even when link-layer
+	// loss drops the frame, since its bytes occupied the uplink busy
+	// period — Dropped carries the lost bytes) and Served is always 0 —
+	// the link drains continuously rather than per-slot, so service is
+	// observable only through Backlog, and the sim invariant
+	// Q(t+1) = Q(t) + Arrived − Served does not hold.
 	Observer sim.Observer
 }
 
@@ -102,10 +107,15 @@ func (p OffloadParams) withDefaults() OffloadParams {
 	return p
 }
 
+// ErrBadDropWindow reports an invalid bandwidth-drop failure injection.
+var ErrBadDropWindow = errors.New("experiments: invalid bandwidth-drop window")
+
 // Validate checks the parameters (after default resolution) without
-// building the capture: the character preset must exist and every
-// candidate depth must fit inside the capture lattice. The Session API
-// calls this once at construction.
+// building the capture: the character preset must exist, every candidate
+// depth must fit inside the capture lattice, and an enabled bandwidth
+// drop must describe a real, fully-contained window. The Session API
+// calls this once at construction; OffloadContext calls it again so
+// direct callers get the same rejection instead of a silent no-op.
 func (p OffloadParams) Validate() error {
 	d := p.withDefaults()
 	if _, err := synthetic.ByName(d.Character); err != nil {
@@ -114,6 +124,20 @@ func (p OffloadParams) Validate() error {
 	for _, dep := range d.Depths {
 		if dep > d.CaptureDepth {
 			return fmt.Errorf("%w: %d > %d", ErrDepthBeyondCapture, dep, d.CaptureDepth)
+		}
+	}
+	if d.DropFactor != 0 {
+		switch {
+		case d.DropFactor < 0 || d.DropFactor >= 1:
+			return fmt.Errorf("%w: DropFactor %v not in (0,1)", ErrBadDropWindow, d.DropFactor)
+		case d.DropStart < 0:
+			return fmt.Errorf("%w: DropStart %d negative", ErrBadDropWindow, d.DropStart)
+		case d.DropEnd <= d.DropStart:
+			return fmt.Errorf("%w: DropEnd %d not after DropStart %d (the drop would never engage)",
+				ErrBadDropWindow, d.DropEnd, d.DropStart)
+		case d.DropEnd >= d.Slots:
+			return fmt.Errorf("%w: DropEnd %d beyond horizon %d (the bandwidth would never be restored)",
+				ErrBadDropWindow, d.DropEnd, d.Slots)
 		}
 	}
 	if p.Link != nil {
@@ -152,6 +176,55 @@ type OffloadResult struct {
 // ErrNoDeliveries is returned when every frame was lost (degenerate link).
 var ErrNoDeliveries = errors.New("experiments: no frames delivered")
 
+// captureByteProfiles builds the synthetic capture shared by the
+// offload scenarios and measures what their controllers act on: the
+// per-depth stream-size profile (bytes, the cost domain) and the
+// log-point utility over the octree occupancy.
+func captureByteProfiles(character string, samples, captureDepth int, depths []int, seed uint64) ([]int, quality.UtilityModel, error) {
+	ch, err := synthetic.ByName(character)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, dep := range depths {
+		if dep > captureDepth {
+			return nil, nil, fmt.Errorf("%w: %d > %d", ErrDepthBeyondCapture, dep, captureDepth)
+		}
+	}
+	cloud, err := synthetic.Generate(synthetic.Config{
+		Character:     ch,
+		SamplesTarget: samples,
+		CaptureDepth:  captureDepth,
+		Seed:          seed,
+	}, synthetic.Pose{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("generate frame: %w", err)
+	}
+	tree, err := octree.Build(cloud, captureDepth)
+	if err != nil {
+		return nil, nil, fmt.Errorf("build octree: %w", err)
+	}
+	bytesProfile, err := tree.StreamSizeProfile(true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stream sizes: %w", err)
+	}
+	// Quality still comes from rendered points; cost is bytes.
+	util, err := quality.NewLogPointUtility(tree.Profile())
+	if err != nil {
+		return nil, nil, err
+	}
+	return bytesProfile, util, nil
+}
+
+// referenceBandwidth places an uplink bandwidth between bytes(d_max−1)
+// and bytes(d_max) of the given cost model — the sizing that keeps the
+// deepest depth unstable, as the scenario calibration requires.
+func referenceBandwidth(cost *delay.PointCostModel, depths []int, fraction float64) float64 {
+	dMax, second := deepestTwo(depths)
+	bMax := cost.FrameCost(dMax)
+	bSecond := cost.FrameCost(second)
+	return bSecond + fraction*(bMax-bSecond)
+}
+
 // Offload builds the capture, measures its per-depth stream sizes, sizes
 // the uplink, calibrates V against the byte workload, and runs the
 // control loop against the emulated link.
@@ -163,32 +236,11 @@ func Offload(params OffloadParams) (*OffloadResult, error) {
 // polls ctx once per queueing.PollEvery slots and aborts with the
 // context's error.
 func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, error) {
-	p := params.withDefaults()
-	ch, err := synthetic.ByName(p.Character)
-	if err != nil {
+	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	cloud, err := synthetic.Generate(synthetic.Config{
-		Character:     ch,
-		SamplesTarget: p.Samples,
-		CaptureDepth:  p.CaptureDepth,
-		Seed:          p.Seed,
-	}, synthetic.Pose{})
-	if err != nil {
-		return nil, fmt.Errorf("generate frame: %w", err)
-	}
-	tree, err := octree.Build(cloud, p.CaptureDepth)
-	if err != nil {
-		return nil, fmt.Errorf("build octree: %w", err)
-	}
-	bytesProfile, err := tree.StreamSizeProfile(true)
-	if err != nil {
-		return nil, fmt.Errorf("stream sizes: %w", err)
-	}
-	occupancy := tree.Profile()
-
-	// Quality still comes from rendered points; cost is now bytes.
-	util, err := quality.NewLogPointUtility(occupancy)
+	p := params.withDefaults()
+	bytesProfile, util, err := captureByteProfiles(p.Character, p.Samples, p.CaptureDepth, p.Depths, p.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -197,10 +249,7 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 		return nil, fmt.Errorf("bytes cost model: %w", err)
 	}
 
-	dMax, second := deepestTwo(p.Depths)
-	bMax := cost.FrameCost(dMax)
-	bSecond := cost.FrameCost(second)
-	bandwidth := bSecond + p.BandwidthFraction*(bMax-bSecond)
+	bandwidth := referenceBandwidth(cost, p.Depths, p.BandwidthFraction)
 	if p.Bandwidth > 0 {
 		bandwidth = p.Bandwidth
 	}
@@ -273,17 +322,20 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 		depthSum += float64(d)
 		frameBytes := cost.FrameCost(d)
 		tx := link.Transmit(frameBytes, t)
-		arrived := frameBytes
+		var lostBytes float64
 		if tx.Dropped {
 			res.LossCount++
-			arrived = 0
+			lostBytes = frameBytes
 		} else {
 			res.Latency = append(res.Latency, tx.DeliveredSlot-float64(t))
 		}
 		if p.Observer != nil {
+			// Arrived reports the bytes offered to the uplink even for a
+			// lost frame — they occupied the busy period; Dropped carries
+			// the loss.
 			p.Observer(sim.SlotEvent{
 				Slot: t, Device: -1, Backlog: q, Depth: d,
-				Utility: util.Utility(d), Arrived: arrived,
+				Utility: util.Utility(d), Arrived: frameBytes, Dropped: lostBytes,
 			})
 		}
 	}

@@ -109,6 +109,34 @@ func (l *Link) Transmit(bytes float64, now int) Transmission {
 	return out
 }
 
+// Deliver models the propagation leg alone — loss, fixed latency, and
+// jitter — for transports whose serialization bandwidth is scheduled
+// externally (the shared-uplink multi-device scenario allocates the
+// serializer per slot, so only this leg remains). now is when the
+// frame's last byte finished serializing. Lost frames still consumed
+// their uplink bytes; they simply never arrive. Deliver draws from the
+// same RNG and updates the same counters as Transmit (bytes counted
+// into BytesSent on success only, as Transmit does).
+func (l *Link) Deliver(bytes, now float64) (deliveredSlot float64, dropped bool) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		l.dropped++
+		return 0, true
+	}
+	jitter := 0.0
+	if l.cfg.JitterSlots > 0 {
+		jitter = l.rng.NormMeanStd(0, l.cfg.JitterSlots)
+		if jitter < 0 {
+			jitter = 0
+		}
+	}
+	l.sent++
+	l.bytesSent += bytes
+	return now + l.cfg.LatencySlots + jitter, false
+}
+
 // QueueDelay returns how long a frame arriving at slot now would wait
 // before its first byte is sent.
 func (l *Link) QueueDelay(now int) float64 {

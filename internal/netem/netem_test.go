@@ -84,6 +84,37 @@ func TestLinkLossRate(t *testing.T) {
 	}
 }
 
+func TestLinkDeliverPropagationLeg(t *testing.T) {
+	// Deliver applies latency/jitter/loss without touching the
+	// serializer: the busy period is unchanged and counters advance.
+	l := mustLink(t, LinkConfig{BytesPerSlot: 100, LatencySlots: 2, JitterSlots: 0.5, LossProb: 0.25, Seed: 5})
+	const n = 20000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		slot, lost := l.Deliver(10, float64(i))
+		if lost {
+			dropped++
+			continue
+		}
+		if slot < float64(i)+2 {
+			t.Fatalf("delivery %v earlier than latency floor", slot)
+		}
+	}
+	if rate := float64(dropped) / n; math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("loss rate = %v, want ~0.25", rate)
+	}
+	st := l.Stats()
+	if st.Sent+st.Dropped != n {
+		t.Errorf("sent %d + dropped %d != %d", st.Sent, st.Dropped, n)
+	}
+	if want := float64(st.Sent) * 10; st.BytesSent != want {
+		t.Errorf("bytes sent = %v, want %v", st.BytesSent, want)
+	}
+	if d := l.QueueDelay(0); d != 0 {
+		t.Errorf("Deliver occupied the serializer: queue delay %v", d)
+	}
+}
+
 func TestLinkJitterNonNegativeAndVarying(t *testing.T) {
 	l := mustLink(t, LinkConfig{BytesPerSlot: 1e6, LatencySlots: 1, JitterSlots: 0.5, Seed: 6})
 	seen := map[float64]bool{}

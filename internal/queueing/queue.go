@@ -94,19 +94,29 @@ type Completed struct {
 
 // FrameQueue is a FIFO of frames with partial service: a slot's capacity
 // drains the head frame first and rolls over to later frames.
+//
+// Completed frames are released eagerly: the queue keeps a head index
+// into its backing slice and compacts once the dead prefix dominates, so
+// memory stays proportional to the frames in flight, not to the run
+// length.
 type FrameQueue struct {
-	frames []Frame
+	frames []Frame // frames[head:] are live
+	head   int
 	nextID int
 }
 
+// compactAfter is the dead-prefix length beyond which Serve compacts the
+// backing slice (once the prefix also outweighs the live frames).
+const compactAfter = 64
+
 // Len returns the number of queued (incl. partially served) frames.
-func (q *FrameQueue) Len() int { return len(q.frames) }
+func (q *FrameQueue) Len() int { return len(q.frames) - q.head }
 
 // WorkBacklog returns the total unserved work across queued frames; this
 // equals the scalar Q(t) when both are driven identically.
 func (q *FrameQueue) WorkBacklog() float64 {
 	var sum float64
-	for _, f := range q.frames {
+	for _, f := range q.frames[q.head:] {
 		sum += f.Remaining
 	}
 	return sum
@@ -129,8 +139,8 @@ func (q *FrameQueue) Push(work float64, depth, now int) int {
 // service, and returns the frames completed this slot.
 func (q *FrameQueue) Serve(capacity float64, now int) []Completed {
 	var done []Completed
-	for capacity > 0 && len(q.frames) > 0 {
-		head := &q.frames[0]
+	for capacity > 0 && q.head < len(q.frames) {
+		head := &q.frames[q.head]
 		if head.Remaining > capacity {
 			head.Remaining -= capacity
 			capacity = 0
@@ -143,18 +153,53 @@ func (q *FrameQueue) Serve(capacity float64, now int) []Completed {
 			CompletedAt: now,
 			Sojourn:     now - head.EnqueuedAt,
 		})
-		q.frames = q.frames[1:]
+		q.head++
 	}
+	q.compact()
 	return done
+}
+
+// compact copies live frames to the front of the backing slice once the
+// served prefix dominates it, releasing completed frames for reuse by
+// subsequent pushes (flat memory over arbitrarily long runs).
+func (q *FrameQueue) compact() {
+	if q.head > compactAfter && q.head*2 >= len(q.frames) {
+		n := copy(q.frames, q.frames[q.head:])
+		q.frames = q.frames[:n]
+		q.head = 0
+	}
+}
+
+// DropTail removes up to amount work from the newest frames (tail first)
+// — the frame-level mirror of a bounded backlog's overflow drop, which
+// rejects the latest arrivals. A frame whose remaining work hits zero is
+// removed outright and counted (it will never complete); a partially
+// trimmed frame stays queued with reduced remaining work. DropTail
+// returns the whole frames dropped and the work actually removed (less
+// than amount only when the queue held less).
+func (q *FrameQueue) DropTail(amount float64) (frames int, removed float64) {
+	for amount > 0 && q.head < len(q.frames) {
+		tail := &q.frames[len(q.frames)-1]
+		if tail.Remaining > amount {
+			tail.Remaining -= amount
+			removed += amount
+			return frames, removed
+		}
+		amount -= tail.Remaining
+		removed += tail.Remaining
+		q.frames = q.frames[:len(q.frames)-1]
+		frames++
+	}
+	return frames, removed
 }
 
 // OldestAge returns the age (in slots) of the head frame at slot now, or 0
 // for an empty queue — the head-of-line delay.
 func (q *FrameQueue) OldestAge(now int) int {
-	if len(q.frames) == 0 {
+	if q.head >= len(q.frames) {
 		return 0
 	}
-	return now - q.frames[0].EnqueuedAt
+	return now - q.frames[q.head].EnqueuedAt
 }
 
 // ArrivalProcess yields the number of frames arriving in each slot.

@@ -141,6 +141,104 @@ func TestFrameQueueMatchesScalarBacklog(t *testing.T) {
 	}
 }
 
+func TestFrameQueueDropTail(t *testing.T) {
+	var q FrameQueue
+	q.Push(10, 5, 0)
+	q.Push(4, 5, 1)
+	q.Push(6, 5, 2)
+
+	// Partial trim of the newest frame only.
+	frames, removed := q.DropTail(2)
+	if frames != 0 || removed != 2 {
+		t.Fatalf("DropTail(2) = %d, %v", frames, removed)
+	}
+	if q.Len() != 3 || q.WorkBacklog() != 18 {
+		t.Fatalf("len %d backlog %v after partial trim", q.Len(), q.WorkBacklog())
+	}
+
+	// Crossing a frame boundary removes the whole tail frame and trims
+	// the next-newest.
+	frames, removed = q.DropTail(5)
+	if frames != 1 || removed != 5 {
+		t.Fatalf("DropTail(5) = %d, %v", frames, removed)
+	}
+	if q.Len() != 2 || q.WorkBacklog() != 13 {
+		t.Fatalf("len %d backlog %v after boundary drop", q.Len(), q.WorkBacklog())
+	}
+
+	// Over-draining stops at empty and reports what was removed.
+	frames, removed = q.DropTail(100)
+	if frames != 2 || removed != 13 {
+		t.Fatalf("DropTail(100) = %d, %v", frames, removed)
+	}
+	if q.Len() != 0 || q.WorkBacklog() != 0 {
+		t.Error("queue must be empty after over-drain")
+	}
+
+	// FIFO service still works after tail drops interleave with serves.
+	q.Push(3, 5, 10)
+	q.Push(3, 5, 10)
+	q.DropTail(3)
+	done := q.Serve(3, 11)
+	if len(done) != 1 || done[0].EnqueuedAt != 10 {
+		t.Fatalf("served %v after drop", done)
+	}
+}
+
+func TestFrameQueueBoundedDriveMatchesBoundedBacklog(t *testing.T) {
+	// Property: a bounded Backlog and a FrameQueue driven with the same
+	// arrivals/service stay equal slot-by-slot when overflow is
+	// propagated with DropTail — the drop-divergence fix.
+	rng := geom.NewRNG(9)
+	b := NewBoundedBacklog(120)
+	var q FrameQueue
+	for slot := 0; slot < 2000; slot++ {
+		work := rng.Range(0, 60)
+		q.Push(work, 6, slot)
+		droppedBefore := b.TotalDropped()
+		served := b.Step(work, rng.Range(0, 50))
+		if d := b.TotalDropped() - droppedBefore; d > 0 {
+			q.DropTail(d)
+		}
+		q.Serve(served, slot)
+		if math.Abs(q.WorkBacklog()-b.Level()) > 1e-9 {
+			t.Fatalf("slot %d: frame backlog %v != scalar %v", slot, q.WorkBacklog(), b.Level())
+		}
+	}
+	if b.TotalDropped() == 0 {
+		t.Fatal("test never exercised overflow")
+	}
+}
+
+func TestFrameQueueMemoryStaysFlat(t *testing.T) {
+	// A million push/serve cycles with ~1 frame in flight must not pin
+	// the whole history: the compacting queue keeps its backing array
+	// near the live size.
+	var q FrameQueue
+	for slot := 0; slot < 1_000_000; slot++ {
+		q.Push(1, 5, slot)
+		q.Serve(1, slot)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+	if c := cap(q.frames); c > 4*compactAfter {
+		t.Errorf("backing array cap = %d frames after 1M cycles, want ≤ %d", c, 4*compactAfter)
+	}
+}
+
+func BenchmarkFrameQueueLongRun(b *testing.B) {
+	// Memory must stay flat over arbitrarily long runs (the re-slicing
+	// queue pinned every completed frame): allocs/op ≈ 0 at steady
+	// state.
+	b.ReportAllocs()
+	var q FrameQueue
+	for i := 0; i < b.N; i++ {
+		q.Push(2, 5, i)
+		q.Serve(2, i)
+	}
+}
+
 func TestArrivalProcesses(t *testing.T) {
 	det := &DeterministicArrivals{PerSlot: 2}
 	if det.Frames(0) != 2 || det.Frames(99) != 2 {

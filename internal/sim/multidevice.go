@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"qarv/internal/alloc"
 	"qarv/internal/delay"
 	"qarv/internal/policy"
 	"qarv/internal/quality"
@@ -15,7 +16,11 @@ import (
 // (§II): N devices each run their own controller on purely local state
 // (their own backlog), while sharing an edge server's service budget. No
 // device sees another's queue — if the system still stabilizes, the
-// distributed claim holds under contention.
+// distributed claim holds under contention. How the edge splits its
+// budget is a pluggable alloc.Allocator; the default EqualSplit is the
+// paper's information-free baseline, while backlog-aware strategies
+// (ProportionalBacklog, MaxWeight, WeightedRoundRobin) model an edge
+// that schedules on the queue lengths it can observe server-side.
 
 // Device describes one AR client in a multi-device run.
 type Device struct {
@@ -28,16 +33,23 @@ type Device struct {
 	Utility quality.UtilityModel
 	// Arrivals yields its frames per slot.
 	Arrivals queueing.ArrivalProcess
+	// MaxBacklog, when positive, bounds this device's queue; overflow
+	// drops work (and the newest frames) exactly as in single runs.
+	MaxBacklog float64
 }
 
 // MultiConfig describes a shared-service multi-device run.
 type MultiConfig struct {
 	Devices []Device
-	// Service is the shared edge budget per slot, divided equally among
-	// devices (an uncoordinated, information-free split: each device gets
-	// budget/N regardless of backlogs, preserving full distribution).
+	// Service is the shared edge budget per slot, divided among devices
+	// by Allocator.
 	Service delay.ServiceProcess
-	Slots   int
+	// Allocator splits the per-slot budget across devices from their
+	// observed backlogs. Nil selects alloc.EqualSplit — the uncoordinated,
+	// information-free split (each device gets budget/N regardless of
+	// backlogs), preserving full distribution.
+	Allocator alloc.Allocator
+	Slots     int
 	// Observer, when non-nil, receives every device's slot event (the
 	// event's Device field indexes into Devices).
 	Observer Observer
@@ -76,16 +88,21 @@ func (c *MultiConfig) Validate() error {
 	return nil
 }
 
-// MultiResult aggregates per-device results of a shared run.
+// MultiResult aggregates per-device results of a shared run. Each
+// per-device Result carries the full frame accounting (Completed,
+// MeanSojourn, Little, DroppedWork/DroppedFrames), exactly as a
+// single-device run would.
 type MultiResult struct {
 	PerDevice []*Result
+	// Allocator names the budget-split strategy that drove the run.
+	Allocator string
 	// TotalTimeAvgBacklog sums devices' time-average backlogs.
 	TotalTimeAvgBacklog float64
 	// MeanTimeAvgUtility averages devices' time-average utilities.
 	MeanTimeAvgUtility float64
 }
 
-// RunMulti executes N devices against an equally split shared service.
+// RunMulti executes N devices against a shared service budget.
 func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	return RunMultiContext(context.Background(), cfg)
 }
@@ -97,65 +114,41 @@ func RunMultiContext(ctx context.Context, cfg MultiConfig) (*MultiResult, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	allocator := cfg.Allocator
+	if allocator == nil {
+		allocator = alloc.EqualSplit{}
+	}
 	n := len(cfg.Devices)
-	results := make([]*Result, n)
-	backlogs := make([]*queueing.Backlog, n)
+	runners := make([]*deviceRunner, n)
 	for i, dev := range cfg.Devices {
-		results[i] = &Result{
-			PolicyName: dev.Policy.Name(),
-			Backlog:    make([]float64, cfg.Slots),
-			Depth:      make([]int, cfg.Slots),
-			Arrived:    make([]float64, cfg.Slots),
-			Served:     make([]float64, cfg.Slots),
-			Utility:    make([]float64, cfg.Slots),
-		}
-		backlogs[i] = &queueing.Backlog{}
+		runners[i] = newDeviceRunner(dev.Policy, dev.Cost, dev.Utility,
+			dev.Arrivals, dev.MaxBacklog, cfg.Slots)
 	}
 
-	utilSums := make([]float64, n)
-	backlogSums := make([]float64, n)
+	backlogs := make([]float64, n)
+	shares := make([]float64, n)
 	cancel := queueing.NewCancelCheck(ctx, 0)
 	for t := 0; t < cfg.Slots; t++ {
 		if err := cancel.Check(); err != nil {
 			return nil, fmt.Errorf("sim: canceled at slot %d: %w", t, err)
 		}
-		share := cfg.Service.Service(t) / float64(n)
-		for i, dev := range cfg.Devices {
-			q := backlogs[i].Level()
-			res := results[i]
-			res.Backlog[t] = q
-			backlogSums[i] += q
-			if q > res.MaxBacklog {
-				res.MaxBacklog = q
-			}
-
-			d := dev.Policy.Decide(t, q)
-			res.Depth[t] = d
-			u := dev.Utility.Utility(d)
-			res.Utility[t] = u
-			utilSums[i] += u
-
-			var work float64
-			for f := 0; f < dev.Arrivals.Frames(t); f++ {
-				work += dev.Cost.FrameCost(d)
-			}
-			res.Arrived[t] = work
-			served := backlogs[i].Step(work, share)
-			res.Served[t] = served
-			if cfg.Observer != nil {
-				cfg.Observer(SlotEvent{
-					Slot: t, Device: i, Backlog: q, Depth: d,
-					Utility: u, Arrived: work, Served: served,
-				})
-			}
+		budget := cfg.Service.Service(t)
+		for i, r := range runners {
+			backlogs[i] = r.backlog.Level()
+		}
+		allocator.Allocate(t, budget, backlogs, shares)
+		for i, r := range runners {
+			r.step(t, shares[i], i, cfg.Observer)
 		}
 	}
 
-	out := &MultiResult{PerDevice: results}
-	for i, res := range results {
-		res.FinalBacklog = backlogs[i].Level()
-		res.TimeAvgUtility = utilSums[i] / float64(cfg.Slots)
-		res.TimeAvgBacklog = backlogSums[i] / float64(cfg.Slots)
+	out := &MultiResult{
+		PerDevice: make([]*Result, n),
+		Allocator: allocator.Name(),
+	}
+	for i, r := range runners {
+		res := r.finalize(cfg.Slots)
+		out.PerDevice[i] = res
 		out.TotalTimeAvgBacklog += res.TimeAvgBacklog
 		out.MeanTimeAvgUtility += res.TimeAvgUtility
 	}

@@ -36,6 +36,10 @@ type SlotEvent struct {
 	Arrived float64
 	// Served is the work served this slot.
 	Served float64
+	// Dropped is the work lost this slot: bounded-backlog overflow in
+	// sim runs, lost frame bytes in offload runs (which still occupied
+	// the uplink busy period even though they never delivered).
+	Dropped float64
 }
 
 // Observer receives each slot's event synchronously from the loop
@@ -106,10 +110,14 @@ type Result struct {
 	Utility []float64 // pa(d(t))
 
 	// Frame accounting.
-	Completed   []queueing.Completed
-	DroppedWork float64
-	MeanSojourn float64
-	Little      queueing.LittleEstimator
+	Completed []queueing.Completed
+	// DroppedWork is the work rejected by the bounded backlog;
+	// DroppedFrames counts the frames that overflow removed whole from
+	// the frame queue (they never complete).
+	DroppedWork   float64
+	DroppedFrames int
+	MeanSojourn   float64
+	Little        queueing.LittleEstimator
 
 	// Summaries of the objective and constraint.
 	TimeAvgUtility float64 // (1/T)·Σ pa(d(τ)) — objective (1)
@@ -132,6 +140,126 @@ func (r *Result) DepthHistogram() map[int]int {
 	return h
 }
 
+// deviceRunner is the per-device slot-loop state shared by single-device
+// (RunContext) and multi-device (RunMultiContext) runs, so every device
+// gets the same full per-frame accounting: the timestamped FrameQueue,
+// Completed records, the Little estimator, and bounded-backlog drop
+// propagation.
+type deviceRunner struct {
+	policy   policy.Policy
+	cost     delay.CostModel
+	utility  quality.UtilityModel
+	arrivals queueing.ArrivalProcess
+
+	backlog *queueing.Backlog
+	frames  queueing.FrameQueue
+	res     *Result
+
+	utilSum    float64
+	backlogSum float64
+}
+
+func newDeviceRunner(p policy.Policy, cost delay.CostModel, utility quality.UtilityModel,
+	arrivals queueing.ArrivalProcess, maxBacklog float64, slots int) *deviceRunner {
+	return &deviceRunner{
+		policy:   p,
+		cost:     cost,
+		utility:  utility,
+		arrivals: arrivals,
+		backlog:  queueing.NewBoundedBacklog(maxBacklog),
+		res: &Result{
+			PolicyName: p.Name(),
+			Backlog:    make([]float64, slots),
+			Depth:      make([]int, slots),
+			Arrived:    make([]float64, slots),
+			Served:     make([]float64, slots),
+			Utility:    make([]float64, slots),
+		},
+	}
+}
+
+// step advances the device one slot against the given service capacity.
+// device tags the observer event (-1 for single-device runs).
+func (r *deviceRunner) step(t int, capacity float64, device int, obs Observer) {
+	res := r.res
+	q := r.backlog.Level() // line 4 of Algorithm 1: observe Q(t)
+	res.Backlog[t] = q
+	r.backlogSum += q
+	if q > res.MaxBacklog {
+		res.MaxBacklog = q
+	}
+
+	d := r.policy.Decide(t, q) // lines 5–11: closed-form decision
+	res.Depth[t] = d
+	u := r.utility.Utility(d)
+	res.Utility[t] = u
+	r.utilSum += u
+
+	// Arrivals at the chosen depth. Negative counts from custom
+	// processes are clamped so they can't drive λ (and LawGap) negative.
+	n := r.arrivals.Frames(t)
+	if n < 0 {
+		n = 0
+	}
+	var work float64
+	for i := 0; i < n; i++ {
+		w := r.cost.FrameCost(d)
+		work += w
+		r.frames.Push(w, d, t)
+	}
+	res.Arrived[t] = work
+
+	// Service. When the bounded backlog rejects part of the slot's
+	// arrivals, the same amount is dropped tail-first from the frame
+	// queue so FrameQueue.WorkBacklog tracks Backlog.Level exactly and
+	// sojourn statistics never count work that was never admitted.
+	droppedBefore := r.backlog.TotalDropped()
+	served := r.backlog.Step(work, capacity)
+	res.Served[t] = served
+	droppedNow := r.backlog.TotalDropped() - droppedBefore
+	admitted := n
+	if droppedNow > 0 {
+		dropped, _ := r.frames.DropTail(droppedNow)
+		res.DroppedFrames += dropped
+		if admitted -= dropped; admitted < 0 {
+			admitted = 0
+		}
+	}
+	for _, c := range r.frames.Serve(served, t) {
+		res.Completed = append(res.Completed, c)
+		res.Little.ObserveCompletion(c.Sojourn)
+	}
+	// Sample the queue at end of slot so L and W use the same clock
+	// (a frame completing in its arrival slot contributes 0 to both).
+	// λ counts only admitted frames: overflow-removed frames never
+	// complete, so offering them to the estimator would fake a
+	// Little's-law violation in exactly the drop regime.
+	res.Little.ObserveSlot(float64(r.frames.Len()), admitted)
+	if obs != nil {
+		obs(SlotEvent{
+			Slot: t, Device: device, Backlog: q, Depth: d,
+			Utility: u, Arrived: work, Served: served, Dropped: droppedNow,
+		})
+	}
+}
+
+// finalize fills the run summaries after the last slot.
+func (r *deviceRunner) finalize(slots int) *Result {
+	res := r.res
+	res.DroppedWork = r.backlog.TotalDropped()
+	res.FinalBacklog = r.backlog.Level()
+	res.TimeAvgUtility = r.utilSum / float64(slots)
+	res.TimeAvgBacklog = r.backlogSum / float64(slots)
+	if len(res.Completed) > 0 {
+		var s float64
+		for _, c := range res.Completed {
+			s += float64(c.Sojourn)
+		}
+		res.MeanSojourn = s / float64(len(res.Completed))
+	}
+	return res
+}
+
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
 
@@ -142,77 +270,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		PolicyName: cfg.Policy.Name(),
-		Backlog:    make([]float64, cfg.Slots),
-		Depth:      make([]int, cfg.Slots),
-		Arrived:    make([]float64, cfg.Slots),
-		Served:     make([]float64, cfg.Slots),
-		Utility:    make([]float64, cfg.Slots),
-	}
-	backlog := queueing.NewBoundedBacklog(cfg.MaxBacklog)
-	var frames queueing.FrameQueue
+	dev := newDeviceRunner(cfg.Policy, cfg.Cost, cfg.Utility, cfg.Arrivals, cfg.MaxBacklog, cfg.Slots)
 	cancel := queueing.NewCancelCheck(ctx, 0)
-
-	var utilSum, backlogSum float64
 	for t := 0; t < cfg.Slots; t++ {
 		if err := cancel.Check(); err != nil {
 			return nil, fmt.Errorf("sim: canceled at slot %d: %w", t, err)
 		}
-		q := backlog.Level() // line 4 of Algorithm 1: observe Q(t)
-		res.Backlog[t] = q
-		backlogSum += q
-		if q > res.MaxBacklog {
-			res.MaxBacklog = q
-		}
-
-		d := cfg.Policy.Decide(t, q) // lines 5–11: closed-form decision
-		res.Depth[t] = d
-		u := cfg.Utility.Utility(d)
-		res.Utility[t] = u
-		utilSum += u
-
-		// Arrivals at the chosen depth.
-		n := cfg.Arrivals.Frames(t)
-		var work float64
-		for i := 0; i < n; i++ {
-			w := cfg.Cost.FrameCost(d)
-			work += w
-			frames.Push(w, d, t)
-		}
-		res.Arrived[t] = work
-
-		// Service.
-		capacity := cfg.Service.Service(t)
-		served := backlog.Step(work, capacity)
-		res.Served[t] = served
-		for _, c := range frames.Serve(served, t) {
-			res.Completed = append(res.Completed, c)
-			res.Little.ObserveCompletion(c.Sojourn)
-		}
-		// Sample the queue at end of slot so L and W use the same clock
-		// (a frame completing in its arrival slot contributes 0 to both).
-		res.Little.ObserveSlot(float64(frames.Len()), n)
-		if cfg.Observer != nil {
-			cfg.Observer(SlotEvent{
-				Slot: t, Device: -1, Backlog: q, Depth: d,
-				Utility: u, Arrived: work, Served: served,
-			})
-		}
+		dev.step(t, cfg.Service.Service(t), -1, cfg.Observer)
 	}
-
-	res.DroppedWork = backlog.TotalDropped()
-	res.FinalBacklog = backlog.Level()
-	res.TimeAvgUtility = utilSum / float64(cfg.Slots)
-	res.TimeAvgBacklog = backlogSum / float64(cfg.Slots)
-	if len(res.Completed) > 0 {
-		var s float64
-		for _, c := range res.Completed {
-			s += float64(c.Sojourn)
-		}
-		res.MeanSojourn = s / float64(len(res.Completed))
-	}
-	return res, nil
+	return dev.finalize(cfg.Slots), nil
 }
 
 // Compare runs the same scenario under several policies (fresh queues

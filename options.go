@@ -19,6 +19,7 @@ type sessionConfig struct {
 	maxBacklog float64
 	maxSet     bool
 	devices    []Device
+	allocator  Allocator
 	offload    *OffloadParams
 	link       *LinkConfig
 	observers  []func(SlotEvent)
@@ -71,9 +72,21 @@ func WithMaxBacklog(b float64) Option {
 
 // WithDevices switches the session to a shared-service multi-device run:
 // each device brings its own policy, cost, utility, and arrivals, and
-// the session's service budget is split equally among them.
+// the session's service budget is split among them by the allocator
+// (default: an equal, information-free split — see WithAllocator).
 func WithDevices(devs ...Device) Option {
 	return func(c *sessionConfig) { c.devices = append(c.devices, devs...) }
+}
+
+// WithAllocator selects how a multi-device session splits the shared
+// per-slot edge budget across devices from their observed backlogs:
+// EqualSplit (the default — the paper's information-free baseline),
+// ProportionalBacklog, NewMaxWeight (longest queue first,
+// work-conserving), or NewWeightedRoundRobin. Only valid together with
+// WithDevices. Allocators may carry per-run state; build one session
+// per run for reproducible sweeps.
+func WithAllocator(a Allocator) Option {
+	return func(c *sessionConfig) { c.allocator = a }
 }
 
 // WithOffload switches the session to the edge-offload scenario: octree

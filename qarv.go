@@ -49,6 +49,7 @@ import (
 	"context"
 	"io"
 
+	"qarv/internal/alloc"
 	"qarv/internal/core"
 	"qarv/internal/delay"
 	"qarv/internal/experiments"
@@ -285,6 +286,17 @@ type (
 	MultiConfig = sim.MultiConfig
 	// MultiResult aggregates per-device results of a shared run.
 	MultiResult = sim.MultiResult
+	// Allocator splits the shared per-slot edge budget across devices
+	// from their observed backlogs (see WithAllocator).
+	Allocator = alloc.Allocator
+	// EqualSplit is the information-free budget split (the default).
+	EqualSplit = alloc.EqualSplit
+	// ProportionalBacklog shares the budget proportionally to backlogs.
+	ProportionalBacklog = alloc.ProportionalBacklog
+	// MaxWeight serves the longest queues first (work-conserving).
+	MaxWeight = alloc.MaxWeight
+	// WeightedRoundRobin is a fluid deficit-round-robin split.
+	WeightedRoundRobin = alloc.WeightedRoundRobin
 	// SlotEvent is one slot's control decision and queue transition,
 	// delivered to WithObserver hooks as the loop runs.
 	SlotEvent = sim.SlotEvent
@@ -296,6 +308,19 @@ const (
 	VerdictConverged  = queueing.VerdictConverged
 	VerdictStabilized = queueing.VerdictStabilized
 )
+
+// NewMaxWeight returns a longest-queue-first allocator.
+func NewMaxWeight() *MaxWeight { return alloc.NewMaxWeight() }
+
+// NewWeightedRoundRobin returns a deficit-round-robin allocator; the
+// i-th weight belongs to device i (missing entries weigh 1).
+func NewWeightedRoundRobin(weights ...float64) *WeightedRoundRobin {
+	return alloc.NewWeightedRoundRobin(weights...)
+}
+
+// AllocatorByName builds an allocator from a CLI-friendly name: "equal",
+// "proportional", "maxweight", or "wrr".
+func AllocatorByName(name string) (Allocator, error) { return alloc.ByName(name) }
 
 // RunSim executes one slotted simulation.
 //
@@ -368,6 +393,20 @@ type (
 	// OffloadResult is an edge-offload run's trajectory and delivery
 	// statistics.
 	OffloadResult = experiments.OffloadResult
+	// SharedUplinkParams controls the shared-uplink multi-device offload
+	// scenario: N devices contending for one emulated uplink whose
+	// bandwidth is divided per slot by an Allocator.
+	SharedUplinkParams = experiments.SharedUplinkParams
+	// SharedUplinkResult is a shared-uplink run's per-device trajectories
+	// and delivery statistics.
+	SharedUplinkResult = experiments.SharedUplinkResult
+	// AllocDeviceSpec shapes one device of a heterogeneous fleet
+	// (arrival rate and cost scale) in the allocator ablation.
+	AllocDeviceSpec = experiments.AllocDeviceSpec
+	// AllocatorSweepRow summarizes one allocator's run over the fleet.
+	AllocatorSweepRow = experiments.AllocatorSweepRow
+	// MultiDeviceRow summarizes one device of a shared-service run.
+	MultiDeviceRow = experiments.MultiDeviceRow
 	// Link is a FIFO uplink with bandwidth/latency/jitter/loss.
 	Link = netem.Link
 	// LinkConfig parameterizes NewLink.
@@ -380,6 +419,25 @@ type (
 
 // NewLink builds a network link emulator.
 func NewLink(cfg LinkConfig) (*Link, error) { return netem.NewLink(cfg) }
+
+// SharedUplink runs N devices against one emulated uplink, its
+// serialization bandwidth split per slot by params.Allocator and its
+// propagation leg (latency, jitter, loss) applied to every delivery.
+func SharedUplink(params SharedUplinkParams) (*SharedUplinkResult, error) {
+	return experiments.SharedUplink(params)
+}
+
+// AllocatorSweep runs the same heterogeneous fleet under each allocator
+// and reports per-device stability — the ablation showing the shared
+// budget's split policy is itself the lever. Zero-value
+// specs/budget/slots/allocators take defaults (see HeterogeneousSpecs).
+func AllocatorSweep(s *Scenario, specs []AllocDeviceSpec, budget float64, slots int, allocators []Allocator) ([]AllocatorSweepRow, error) {
+	return experiments.AllocatorSweep(s, specs, budget, slots, allocators)
+}
+
+// HeterogeneousSpecs returns the canonical mixed fleet of the allocator
+// ablation: one heavy device among n−1 light ones.
+func HeterogeneousSpecs(n int) []AllocDeviceSpec { return experiments.HeterogeneousSpecs(n) }
 
 // Offload runs the edge-offload scenario: octree streams over an emulated
 // uplink, the controller stabilizing the transmit queue.

@@ -43,6 +43,9 @@ var (
 	ErrOptionConflict = errors.New("qarv: conflicting session options")
 	// ErrLinkWithoutOffload reports WithLink on a non-offload session.
 	ErrLinkWithoutOffload = errors.New("qarv: WithLink requires WithOffload")
+	// ErrAllocatorWithoutDevices reports WithAllocator on a session that
+	// has no shared budget to split.
+	ErrAllocatorWithoutDevices = errors.New("qarv: WithAllocator requires WithDevices")
 )
 
 // Runner drives one scenario to completion under a context. Session and
@@ -112,6 +115,9 @@ func NewSession(opts ...Option) (*Session, error) {
 			c.cost != nil || c.utility != nil || c.maxSet || len(c.devices) > 0 {
 			return nil, fmt.Errorf("%w: offload sessions configure capture and control through OffloadParams (WithSlots, WithLink, WithObserver still apply)", ErrOptionConflict)
 		}
+		if c.allocator != nil {
+			return nil, ErrAllocatorWithoutDevices
+		}
 		p := *c.offload
 		if c.slotsSet {
 			if c.slots <= 0 {
@@ -139,10 +145,11 @@ func NewSession(opts ...Option) (*Session, error) {
 			return nil, ErrLinkWithoutOffload
 		}
 		cfg := sim.MultiConfig{
-			Devices:  c.devices,
-			Service:  c.service,
-			Slots:    c.slots,
-			Observer: obs,
+			Devices:   c.devices,
+			Service:   c.service,
+			Allocator: c.allocator,
+			Slots:     c.slots,
+			Observer:  obs,
 		}
 		if c.scenario != nil {
 			if cfg.Service == nil {
@@ -162,6 +169,9 @@ func NewSession(opts ...Option) (*Session, error) {
 	default:
 		if c.link != nil {
 			return nil, ErrLinkWithoutOffload
+		}
+		if c.allocator != nil {
+			return nil, ErrAllocatorWithoutDevices
 		}
 		cfg := sim.Config{
 			Policy:     c.policy,

@@ -64,6 +64,8 @@ func TestSessionOptionValidation(t *testing.T) {
 		{"offload with policy", []Option{WithOffload(OffloadParams{}), WithPolicy(fixed)}, ErrOptionConflict},
 		{"incomplete device", []Option{WithDevices(Device{Policy: fixed}), WithService(svc), WithSlots(10)}, sim.ErrNilCost},
 		{"no devices no policy", nil, sim.ErrNilPolicy},
+		{"allocator without devices", append(cheapSessionOpts(t, 10), WithAllocator(EqualSplit{})), ErrAllocatorWithoutDevices},
+		{"allocator with offload", []Option{WithOffload(OffloadParams{}), WithAllocator(NewMaxWeight())}, ErrAllocatorWithoutDevices},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -414,6 +416,50 @@ func TestSessionScenarioDefaultsAndOverrides(t *testing.T) {
 	}
 	if rep3.Kind != KindMulti || len(rep3.Multi.PerDevice) != 2 {
 		t.Fatalf("multi report = %+v", rep3)
+	}
+}
+
+func TestSessionWithAllocator(t *testing.T) {
+	cost, util := cheapModels(t)
+	arr := &DeterministicArrivals{PerSlot: 1}
+	devices := func() []Device {
+		devs := make([]Device, 2)
+		for i := range devs {
+			devs[i] = Device{Policy: &FixedDepth{Depth: 3}, Cost: cost, Utility: util, Arrivals: arr}
+		}
+		return devs
+	}
+	// Default split is the information-free equal one.
+	s, err := NewSession(WithDevices(devices()...),
+		WithService(&ConstantService{Rate: 4000}), WithSlots(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Multi.Allocator != "equal-split" {
+		t.Errorf("default allocator = %q", rep.Multi.Allocator)
+	}
+	// WithAllocator swaps the split; per-device frame accounting flows.
+	s, err = NewSession(WithDevices(devices()...),
+		WithService(&ConstantService{Rate: 4000}), WithSlots(200),
+		WithAllocator(NewMaxWeight()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Multi.Allocator != "max-weight" {
+		t.Errorf("allocator = %q, want max-weight", rep.Multi.Allocator)
+	}
+	for i, r := range rep.Multi.PerDevice {
+		if len(r.Completed) == 0 {
+			t.Errorf("device %d reports no completed frames", i)
+		}
 	}
 }
 
