@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench examples clean
+.PHONY: all build test race vet bench bench-fleet examples clean
 
 all: vet build test
 
@@ -16,8 +16,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-bench:
+bench: bench-fleet
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/fleet
+
+# bench-fleet records the fleet engine's headline capacity number
+# (device-slots/sec, plus the full streaming report) into the bench
+# history artifact BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./cmd/qarvfleet -n 20000 -slots 500 -churn 0.001 -json > BENCH_fleet.json
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -25,6 +32,8 @@ examples:
 	$(GO) run ./examples/multidevice
 	$(GO) run ./examples/offload
 	$(GO) run ./examples/streaming
+	$(GO) run ./examples/allocators
+	$(GO) run ./examples/fleet
 
 clean:
 	$(GO) clean ./...

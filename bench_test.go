@@ -1,4 +1,5 @@
-// Benchmark harness: one benchmark per paper artifact (see DESIGN.md §4).
+// Benchmark harness: one benchmark per paper artifact (see README.md for
+// the artifact index; BenchmarkFleet lives in internal/fleet).
 //
 //	FIG1  -> BenchmarkFig1DepthResolution
 //	FIG2A -> BenchmarkFig2aQueueDynamics

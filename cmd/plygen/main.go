@@ -1,6 +1,7 @@
 // Command plygen generates synthetic 8i-style voxelized full-body PLY
-// frames — the dataset substitute documented in DESIGN.md. Frames follow a
-// walking loop like the real captures' motion sequences.
+// frames — the repository's stand-in for the 8i dataset (see
+// internal/synthetic). Frames follow a walking loop like the real
+// captures' motion sequences.
 //
 // Usage:
 //

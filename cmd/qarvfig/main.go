@@ -1,7 +1,8 @@
 // Command qarvfig regenerates every figure of the paper's evaluation into
 // a results directory: CSV series, a JSON dump, and a terminal ASCII
 // rendering of each figure (Fig. 1 as a table, Fig. 2(a)/(b) as charts),
-// plus the ablation tables listed in DESIGN.md.
+// plus the ablation tables (see the benchmark harness in bench_test.go
+// for the artifact index).
 //
 // Usage:
 //

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qarv"
+)
+
+// fleetArgs keeps the scenario calibration and the fleet tiny so CLI
+// tests stay fast.
+func fleetArgs(extra ...string) []string {
+	base := []string{"-samples", "30000", "-n", "64", "-slots", "200"}
+	return append(base, extra...)
+}
+
+func TestRunDefaultMix(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), fleetArgs(), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"seats             64",
+		"device-slots      12800",
+		"device-slots/sec",
+		"proposed", "noisy", "bursty",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		fleetArgs("-json", "-mix", "proposed:1", "-churn", "0.01"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep qarv.FleetReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a FleetReport: %v\n%s", err, out.String())
+	}
+	if rep.Seats != 64 || rep.Total.DeviceSlots != 64*200 {
+		t.Errorf("report shape wrong: seats=%d device-slots=%d", rep.Seats, rep.Total.DeviceSlots)
+	}
+	if rep.Total.Sessions <= 64 {
+		t.Errorf("churn produced no replacements: %d sessions", rep.Total.Sessions)
+	}
+	if rep.DeviceSlotsPerSec <= 0 {
+		t.Error("missing device-slots/sec")
+	}
+	if len(rep.PerProfile) != 1 || rep.PerProfile[0].Name != "proposed" {
+		t.Errorf("per-profile breakdown wrong: %+v", rep.PerProfile)
+	}
+}
+
+func TestRunEveryProfileName(t *testing.T) {
+	var out bytes.Buffer
+	mix := "proposed:2,lowv:1,highv:1,max:0.5,min:0.5,threshold:1,random:1,poisson:1,bursty:1,noisy:1,offload:1"
+	if err := run(context.Background(),
+		fleetArgs("-json", "-n", "40", "-mix", mix), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep qarv.FleetReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// Weighted draws over 40 seats won't hit every class; the run
+	// proving every name builds and executes is the point.
+	if len(rep.PerProfile) < 5 {
+		t.Errorf("only %d profiles materialized", len(rep.PerProfile))
+	}
+}
+
+func TestRunRejectsBadMix(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), fleetArgs("-mix", "nosuch:1"), &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown profile") {
+		t.Errorf("bad mix accepted: %v", err)
+	}
+	if err := run(context.Background(), fleetArgs("-mix", "proposed:x"), &out); err == nil ||
+		!strings.Contains(err.Error(), "bad weight") {
+		t.Errorf("bad weight accepted: %v", err)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := run(ctx, fleetArgs(), &out); err == nil {
+		t.Fatal("canceled context did not abort the run")
+	}
+}

@@ -3,8 +3,7 @@
 // grows as O(V). This example sweeps V around the calibrated V* — one
 // Session per point, all of them run concurrently by a SessionPool with
 // deterministic result ordering — and prints measured utility/backlog
-// against the theoretical bounds, reproducing the ABL-V ablation of
-// DESIGN.md.
+// against the theoretical bounds — the ABL-V ablation.
 //
 // Run: go run ./examples/vsweep
 package main

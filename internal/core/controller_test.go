@@ -229,7 +229,7 @@ func TestVerbatimAlgorithm1IsInverted(t *testing.T) {
 	// The printed pseudo-code minimizes the index: at Q=0 it picks the
 	// *lowest* quality, and under load it picks the *most expensive*
 	// depth — exactly backwards. This regression test documents the
-	// erratum (see package comment and DESIGN.md).
+	// erratum (see the package comment).
 	c := mustNew(t, testConfig(50))
 	if d := c.DecideAlgorithm1Verbatim(0); d != 5 {
 		t.Errorf("verbatim at Q=0 picked %d; the bug should pick 5", d)

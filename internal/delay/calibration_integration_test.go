@@ -12,8 +12,8 @@ import (
 // TestCalibrateAgainstRealLODTimings exercises the real calibration path
 // end to end: time actual octree LOD extractions on this machine, fit the
 // points→time law, and derive a frame-budget service rate. This is the
-// measured substitute for the paper's unstated mobile render timings
-// (DESIGN.md §2). Assertions are deliberately loose — wall-clock noise on
+// measured substitute for the paper's unstated mobile render timings.
+// Assertions are deliberately loose — wall-clock noise on
 // shared CI machines is expected — but the fitted law must be physically
 // sensible.
 func TestCalibrateAgainstRealLODTimings(t *testing.T) {

@@ -182,6 +182,10 @@ func (s *NoisyService) Service(int) float64 {
 // Name implements ServiceProcess.
 func (s *NoisyService) Name() string { return "noisy" }
 
+// Reseed replaces the process's RNG — the hook qarv.WithSeed uses to
+// drive every stochastic session component from one session seed.
+func (s *NoisyService) Reseed(rng *geom.RNG) { s.RNG = rng }
+
 // ModulatedService multiplies an inner process's capacity by a
 // time-varying factor — the failure-injection hook (thermal throttling,
 // background contention) used by the robustness experiments.

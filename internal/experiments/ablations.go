@@ -25,7 +25,7 @@ type VSweepRow struct {
 	MaxBacklog     float64
 	Verdict        string
 	// BoundUtilityGap and BoundBacklog are the theoretical guarantees at
-	// this V (for the EXPERIMENTS.md theory-vs-measured comparison).
+	// this V (the theory-vs-measured comparison).
 	BoundUtilityGap float64
 	BoundBacklog    float64
 }

@@ -208,7 +208,8 @@ func (r *Fig2Result) ControlTable() (*trace.Table, error) {
 	return t, nil
 }
 
-// Fig2 shape-check errors (the paper-vs-measured contract of DESIGN.md §4).
+// Fig2 shape-check errors (the paper-vs-measured contract the benchmark
+// harness enforces).
 var (
 	ErrMaxNotDiverging    = errors.New("experiments: only max-Depth did not diverge")
 	ErrMinNotConverged    = errors.New("experiments: only min-Depth did not converge")

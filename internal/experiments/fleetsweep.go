@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"qarv/internal/delay"
+	"qarv/internal/fleet"
+	"qarv/internal/geom"
+	"qarv/internal/policy"
+	"qarv/internal/queueing"
+)
+
+// ---------------------------------------------------------------------------
+// ABL-FLEET-V — the O(1/V)/O(V) tradeoff at fleet scale
+// ---------------------------------------------------------------------------
+//
+// The single-device V sweep (VSweep) shows the tradeoff on one
+// trajectory; a deployment cares about the population: what fraction of
+// ten thousand heterogeneous sessions stabilizes, and where the tail
+// backlog/latency quantiles land, as V moves. This ablation runs a fleet
+// per V point — every session drawing Poisson arrivals and a noisy
+// service rate around the calibrated scenario — and reads the answer off
+// the streaming fleet sketches instead of retained trajectories.
+
+// FleetProfile builds a fleet device class from the calibrated scenario:
+// the proposed controller at vFactor × the calibrated V, one frame per
+// slot, constant service at the calibrated rate. Callers may override
+// any field of the returned profile (e.g. swap NewArrivals for a bursty
+// process) before adding it to a mix.
+func (s *Scenario) FleetProfile(name string, weight, vFactor float64) fleet.Profile {
+	v := s.V * vFactor
+	return fleet.Profile{
+		Name:   name,
+		Weight: weight,
+		NewPolicy: func(*geom.RNG) (policy.Policy, error) {
+			return s.ControllerWithV(v)
+		},
+		Cost:    s.Cost,
+		Utility: s.Utility,
+		NewService: func(*geom.RNG) delay.ServiceProcess {
+			return &delay.ConstantService{Rate: s.ServiceRate}
+		},
+	}
+}
+
+// FleetVSweepRow is one V point of the fleet ablation.
+type FleetVSweepRow struct {
+	VFactor float64
+	V       float64
+	// Fleet-wide aggregates (see fleet.QuantileSummary semantics).
+	MeanUtility float64
+	MeanBacklog float64
+	P95Backlog  float64
+	P99Sojourn  float64
+	Sessions    int64
+	Verdicts    fleet.VerdictCounts
+	// DeviceSlotsPerSec is the engine throughput at this point (wall
+	// clock, not deterministic).
+	DeviceSlotsPerSec float64
+}
+
+// FleetVSweep runs a stochastic fleet (Poisson arrivals, ±5% noisy
+// service around the calibrated rate) at each V factor and summarizes
+// the population: the O(V) growth shows up in the tail backlog/sojourn
+// quantiles, the O(1/V) utility gap in the fleet mean utility. Zero
+// sessions/slots take 2000 sessions × 2× the scenario horizon.
+func FleetVSweep(s *Scenario, factors []float64, sessions, slots int, seed uint64) ([]FleetVSweepRow, error) {
+	return FleetVSweepContext(context.Background(), s, factors, sessions, slots, seed)
+}
+
+// FleetVSweepContext is FleetVSweep under a cancelable context, honored
+// inside every shard's slot loops.
+func FleetVSweepContext(ctx context.Context, s *Scenario, factors []float64, sessions, slots int, seed uint64) ([]FleetVSweepRow, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.1, 0.5, 1, 2, 10}
+	}
+	if sessions <= 0 {
+		sessions = 2000
+	}
+	if slots <= 0 {
+		// As in VSweepContext: the knee (time-to-steady-state) scales
+		// with V, so the horizon must cover the largest factor's knee
+		// with settling room — otherwise still-ramping trajectories get
+		// misclassified as diverging.
+		maxFactor := 0.0
+		for _, f := range factors {
+			if f > maxFactor {
+				maxFactor = f
+			}
+		}
+		slots = 2 * s.Params.Slots
+		if scaled := int(4 * maxFactor * s.Params.KneeSlot); scaled > slots {
+			slots = scaled
+		}
+	}
+	rows := make([]FleetVSweepRow, 0, len(factors))
+	for _, f := range factors {
+		prof := s.FleetProfile("proposed", 1, f)
+		prof.NewArrivals = func(rng *geom.RNG) queueing.ArrivalProcess {
+			return &queueing.PoissonArrivals{Mean: 1, RNG: rng}
+		}
+		prof.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+			return &delay.NoisyService{Mean: s.ServiceRate, Std: 0.05 * s.ServiceRate, RNG: rng}
+		}
+		rep, err := fleet.RunContext(ctx, fleet.Spec{
+			Sessions: sessions,
+			Slots:    slots,
+			Seed:     seed,
+			Profiles: []fleet.Profile{prof},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("V=%gx: %w", f, err)
+		}
+		rows = append(rows, FleetVSweepRow{
+			VFactor:           f,
+			V:                 s.V * f,
+			MeanUtility:       rep.Total.Utility.Mean,
+			MeanBacklog:       rep.Total.Backlog.Mean,
+			P95Backlog:        rep.Total.Backlog.P95,
+			P99Sojourn:        rep.Total.Sojourn.P99,
+			Sessions:          rep.Total.Sessions,
+			Verdicts:          rep.Total.Verdicts,
+			DeviceSlotsPerSec: rep.DeviceSlotsPerSec,
+		})
+	}
+	return rows, nil
+}

@@ -1,8 +1,8 @@
 // Package experiments reproduces every figure of the paper's evaluation
-// (Fig. 1, Fig. 2(a), Fig. 2(b)) plus the ablations listed in DESIGN.md's
-// per-experiment index. Each experiment is a pure function from a calibrated
-// Scenario to result rows/series, consumed by cmd/qarvfig, bench_test.go,
-// and EXPERIMENTS.md.
+// (Fig. 1, Fig. 2(a), Fig. 2(b)) plus the ablations indexed by the
+// benchmark harness. Each experiment is a pure function from a calibrated
+// Scenario to result rows/series, consumed by cmd/qarvfig and
+// bench_test.go.
 package experiments
 
 import (

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qarv/internal/stats"
+)
+
+// QuantileSummary condenses one metric's fleet-wide distribution out of
+// a quantile sketch: exact count/mean/min/max plus the P50/P95/P99
+// estimates (each within the spec's Accuracy of the true quantile).
+type QuantileSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func summarize(s *stats.QuantileSketch) QuantileSummary {
+	return QuantileSummary{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		Max:   s.Max(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// VerdictCounts tallies per-session stability classifications
+// (queueing.ClassifyTrajectory over each session's decimated backlog
+// trajectory). Unclassified counts sessions too short to judge.
+type VerdictCounts struct {
+	Diverging    int64 `json:"diverging"`
+	Converged    int64 `json:"converged"`
+	Stabilized   int64 `json:"stabilized"`
+	Unclassified int64 `json:"unclassified"`
+}
+
+// add folds o into v.
+func (v *VerdictCounts) add(o VerdictCounts) {
+	v.Diverging += o.Diverging
+	v.Converged += o.Converged
+	v.Stabilized += o.Stabilized
+	v.Unclassified += o.Unclassified
+}
+
+// ProfileReport is the merged accounting of every session of one device
+// class (or of the whole fleet, for Report.Total).
+type ProfileReport struct {
+	Name string `json:"name"`
+	// Sessions simulated (> seat count when churn replaced departures)
+	// and how many of them departed early.
+	Sessions   int64 `json:"sessions"`
+	Departures int64 `json:"departures"`
+	// DeviceSlots is the total simulated device-time in slots.
+	DeviceSlots int64 `json:"device_slots"`
+	// Frame accounting across all sessions.
+	FramesCompleted int64   `json:"frames_completed"`
+	FramesDropped   int64   `json:"frames_dropped"`
+	DroppedWork     float64 `json:"dropped_work"`
+	// Sojourn is the distribution of completed frames' queueing+service
+	// delay (slots); Backlog and Utility are the distributions of the
+	// per-slot backlog Q(t) and chosen quality pa(d(t)).
+	Sojourn QuantileSummary `json:"sojourn"`
+	Backlog QuantileSummary `json:"backlog"`
+	Utility QuantileSummary `json:"utility"`
+	// Verdicts tallies session stability classifications.
+	Verdicts VerdictCounts `json:"verdicts"`
+}
+
+// Report is the merged result of one fleet run. Every field except
+// Elapsed and DeviceSlotsPerSec is deterministic for a given Spec and
+// Seed and independent of scheduling. Across different shard counts,
+// counters, quantiles, min/max, and verdicts are identical as well;
+// the float-sum-backed Mean and DroppedWork fields can differ in the
+// last bits because shard boundaries regroup float additions (see the
+// package comment).
+type Report struct {
+	// Echo of the run shape.
+	Seats  int     `json:"seats"`
+	Slots  int     `json:"slots"`
+	Shards int     `json:"shards"`
+	Churn  float64 `json:"churn"`
+	Seed   uint64  `json:"seed"`
+	// Total aggregates the whole fleet; PerProfile breaks it down by
+	// device class (sorted by profile name).
+	Total      ProfileReport   `json:"total"`
+	PerProfile []ProfileReport `json:"per_profile"`
+	// Throughput of the engine itself (wall clock; not deterministic).
+	Elapsed           time.Duration `json:"elapsed_ns"`
+	DeviceSlotsPerSec float64       `json:"device_slots_per_sec"`
+}
+
+// profileAccum is one device class's streaming accumulator within a
+// shard: counters plus the three mergeable sketches. All O(1) memory.
+type profileAccum struct {
+	sessions        int64
+	departures      int64
+	deviceSlots     int64
+	framesCompleted int64
+	framesDropped   int64
+	droppedWork     float64
+	sojourn         *stats.QuantileSketch
+	backlog         *stats.QuantileSketch
+	utility         *stats.QuantileSketch
+	verdicts        VerdictCounts
+}
+
+func newProfileAccum(accuracy float64) *profileAccum {
+	return &profileAccum{
+		sojourn: stats.NewQuantileSketch(accuracy),
+		backlog: stats.NewQuantileSketch(accuracy),
+		utility: stats.NewQuantileSketch(accuracy),
+	}
+}
+
+// merge folds o into p (lossless sketch merges).
+func (p *profileAccum) merge(o *profileAccum) error {
+	p.sessions += o.sessions
+	p.departures += o.departures
+	p.deviceSlots += o.deviceSlots
+	p.framesCompleted += o.framesCompleted
+	p.framesDropped += o.framesDropped
+	p.droppedWork += o.droppedWork
+	p.verdicts.add(o.verdicts)
+	if err := p.sojourn.Merge(o.sojourn); err != nil {
+		return err
+	}
+	if err := p.backlog.Merge(o.backlog); err != nil {
+		return err
+	}
+	return p.utility.Merge(o.utility)
+}
+
+func (p *profileAccum) report(name string) ProfileReport {
+	return ProfileReport{
+		Name:            name,
+		Sessions:        p.sessions,
+		Departures:      p.departures,
+		DeviceSlots:     p.deviceSlots,
+		FramesCompleted: p.framesCompleted,
+		FramesDropped:   p.framesDropped,
+		DroppedWork:     p.droppedWork,
+		Sojourn:         summarize(p.sojourn),
+		Backlog:         summarize(p.backlog),
+		Utility:         summarize(p.utility),
+		Verdicts:        p.verdicts,
+	}
+}
+
+// fleetAccum is one shard's full accumulator: a profileAccum per device
+// class, created lazily as the shard's seats first draw each class.
+type fleetAccum struct {
+	accuracy float64
+	profiles map[string]*profileAccum
+}
+
+func newFleetAccum(spec *Spec) *fleetAccum {
+	return &fleetAccum{
+		accuracy: spec.Accuracy,
+		profiles: make(map[string]*profileAccum, len(spec.Profiles)),
+	}
+}
+
+func (a *fleetAccum) profile(name string) *profileAccum {
+	p, ok := a.profiles[name]
+	if !ok {
+		p = newProfileAccum(a.accuracy)
+		a.profiles[name] = p
+	}
+	return p
+}
+
+// merge folds another shard's accumulator into a.
+func (a *fleetAccum) merge(o *fleetAccum) error {
+	for name, op := range o.profiles {
+		if err := a.profile(name).merge(op); err != nil {
+			return fmt.Errorf("fleet: merging profile %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// report assembles the final Report: per-profile rows sorted by name,
+// then merged once more into the fleet-wide Total.
+func (a *fleetAccum) report(spec *Spec, shards int, elapsed time.Duration) *Report {
+	names := make([]string, 0, len(a.profiles))
+	for name := range a.profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rep := &Report{
+		Seats:   spec.Sessions,
+		Slots:   spec.Slots,
+		Shards:  shards,
+		Churn:   spec.Churn,
+		Seed:    spec.Seed,
+		Elapsed: elapsed,
+	}
+	total := newProfileAccum(spec.Accuracy)
+	for _, name := range names {
+		p := a.profiles[name]
+		rep.PerProfile = append(rep.PerProfile, p.report(name))
+		// Lossless: same-accuracy sketches merge without extra error.
+		if err := total.merge(p); err != nil {
+			// Unreachable: every accumulator shares spec.Accuracy.
+			panic(err)
+		}
+	}
+	rep.Total = total.report("fleet")
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.DeviceSlotsPerSec = float64(rep.Total.DeviceSlots) / secs
+	}
+	return rep
+}

@@ -134,6 +134,10 @@ func (p *Random) Decide(int, float64) int {
 // Name implements Policy.
 func (p *Random) Name() string { return "random" }
 
+// Reseed replaces the policy's RNG — the hook qarv.WithSeed uses to
+// drive every stochastic session component from one session seed.
+func (p *Random) Reseed(rng *geom.RNG) { p.rng = rng }
+
 // Threshold is a two-watermark hysteresis controller: while the backlog is
 // below Low it steps the depth up one candidate; above High it steps down;
 // in between it holds. This is the natural hand-tuned heuristic an engineer

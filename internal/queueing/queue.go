@@ -248,6 +248,10 @@ func (a *PoissonArrivals) Frames(int) int {
 // Name implements ArrivalProcess.
 func (a *PoissonArrivals) Name() string { return "poisson" }
 
+// Reseed replaces the process's RNG — the hook qarv.WithSeed uses to
+// drive every stochastic session component from one session seed.
+func (a *PoissonArrivals) Reseed(rng *geom.RNG) { a.RNG = rng }
+
 // OnOffArrivals alternates between bursts of PerSlotOn frames for OnSlots
 // and silence for OffSlots — bursty telepresence traffic.
 type OnOffArrivals struct {

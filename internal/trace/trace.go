@@ -1,6 +1,6 @@
 // Package trace records experiment time series and renders them as CSV,
 // JSON, terminal ASCII charts, and aligned text tables — the output layer
-// of the figure-regeneration harness (cmd/qarvfig, EXPERIMENTS.md).
+// of the figure-regeneration harness (cmd/qarvfig).
 package trace
 
 import (

@@ -23,6 +23,8 @@ type sessionConfig struct {
 	offload    *OffloadParams
 	link       *LinkConfig
 	observers  []func(SlotEvent)
+	seed       uint64
+	seedSet    bool
 }
 
 // WithScenario seeds the session from a calibrated Scenario: its cost,
@@ -105,6 +107,27 @@ func WithOffload(p OffloadParams) Option {
 // NewSession. Only valid together with WithOffload.
 func WithLink(l LinkConfig) Option {
 	return func(c *sessionConfig) { c.link = &l }
+}
+
+// WithSeed makes the session's stochastic components deterministic from
+// one seed: NewSession derives a splittable RNG from it and reseeds, in
+// a fixed documented order, every resolved component that implements
+// Reseed(*RNG) — PoissonArrivals, NoisyService, and the random baseline
+// policy among the built-ins (for sim sessions: policy, arrivals,
+// service; for multi sessions: the shared service, then each device's
+// policy and arrivals in device order). Offload sessions instead get
+// OffloadParams.Seed replaced, which drives both the capture and the
+// link RNG (an explicit WithLink seed still wins for the link); note
+// offload runs normalize seed 0 to 1 — OffloadParams' zero-value
+// convention — so WithSeed(0) and WithSeed(1) coincide there, while
+// sim and multi sessions treat every seed value as distinct.
+//
+// Two sessions built with the same options and the same seed produce
+// byte-identical reports. Reseeding happens once, at NewSession — a
+// single session Run twice continues its RNG streams, so build one
+// session per run for reproducible sweeps.
+func WithSeed(seed uint64) Option {
+	return func(c *sessionConfig) { c.seed = seed; c.seedSet = true }
 }
 
 // WithObserver registers a per-slot hook invoked synchronously from the

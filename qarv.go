@@ -7,10 +7,10 @@
 //
 // The package is a facade over the implementation packages: it re-exports
 // the controller (Eq. (3) of the paper), the baseline policies, the
-// slotted simulator, the octree/point-cloud/PLY substrates, the synthetic
-// 8i-like dataset generator, and the figure-reproduction experiments. The
-// exported names below are the supported public API; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// slotted simulator, the fleet-scale engine, the octree/point-cloud/PLY
+// substrates, the synthetic 8i-like dataset generator, and the
+// figure-reproduction experiments. The exported names below are the
+// supported public API; see README.md for the system tour and quickstart.
 //
 // # Sessions
 //
@@ -26,15 +26,30 @@
 //
 // Options override any scenario default (WithPolicy, WithArrivals,
 // WithService, WithCost, WithUtility, WithSlots, WithMaxBacklog), switch
-// scenario kind (WithDevices, WithOffload, WithLink), and attach per-slot
-// streaming hooks (WithObserver). Sweeps run N sessions concurrently with
-// deterministic result ordering through a SessionPool:
+// scenario kind (WithDevices, WithOffload, WithLink), make every
+// stochastic component deterministic from one seed (WithSeed), and
+// attach per-slot streaming hooks (WithObserver). Sweeps run N sessions
+// concurrently with deterministic result ordering through a SessionPool:
 //
 //	pool := qarv.NewSessionPool(0, s1, s2, s3) // 0 = GOMAXPROCS workers
 //	reports, _ := pool.Run(ctx)                // reports[i] belongs to si
 //
 // The legacy flat entry points (RunSim, RunMulti, Offload) remain as thin
 // deprecated wrappers over Session; see MIGRATION.md.
+//
+// # Fleets
+//
+// Above the single session sits the fleet engine: 10k–1M independent
+// device sessions striped across shards, with churn and weighted
+// heterogeneous profile mixes, aggregated in O(1) memory through
+// streaming quantile sketches (see NewFleet, FleetSpec, Profile):
+//
+//	fl, _ := qarv.NewFleet(qarv.FleetSpec{
+//	    Sessions: 100_000, Slots: 1000, Churn: 0.001, Seed: 1,
+//	    Profiles: []qarv.Profile{scn.FleetProfile("proposed", 1, 1)},
+//	})
+//	frep, _ := fl.Run(ctx)
+//	fmt.Println(frep.Total.Sojourn.P99, frep.DeviceSlotsPerSec)
 //
 // # Building blocks
 //
@@ -167,8 +182,13 @@ type (
 	Calibration = delay.Calibration
 )
 
+// RNG is the small, deterministic, splittable generator every stochastic
+// component of the library draws from (synthetic captures, arrival
+// processes, service jitter, random baselines, fleet profile factories).
+type RNG = geom.RNG
+
 // NewRNG returns the deterministic RNG used across the library.
-func NewRNG(seed uint64) *geom.RNG { return geom.NewRNG(seed) }
+func NewRNG(seed uint64) *RNG { return geom.NewRNG(seed) }
 
 // NewLogPointUtility builds the default log-points utility model over an
 // octree occupancy profile.
@@ -405,6 +425,8 @@ type (
 	AllocDeviceSpec = experiments.AllocDeviceSpec
 	// AllocatorSweepRow summarizes one allocator's run over the fleet.
 	AllocatorSweepRow = experiments.AllocatorSweepRow
+	// FleetVSweepRow is one V point of the fleet-scale V ablation.
+	FleetVSweepRow = experiments.FleetVSweepRow
 	// MultiDeviceRow summarizes one device of a shared-service run.
 	MultiDeviceRow = experiments.MultiDeviceRow
 	// Link is a FIFO uplink with bandwidth/latency/jitter/loss.
@@ -438,6 +460,15 @@ func AllocatorSweep(s *Scenario, specs []AllocDeviceSpec, budget float64, slots 
 // HeterogeneousSpecs returns the canonical mixed fleet of the allocator
 // ablation: one heavy device among n−1 light ones.
 func HeterogeneousSpecs(n int) []AllocDeviceSpec { return experiments.HeterogeneousSpecs(n) }
+
+// FleetVSweep runs the O(1/V)/O(V) ablation at fleet scale: a stochastic
+// population (Poisson arrivals, noisy service) per V point, summarized
+// through the fleet engine's streaming quantile sketches. Zero
+// sessions/slots take defaults; see Scenario.FleetProfile to build
+// custom fleet mixes from a calibrated scenario.
+func FleetVSweep(s *Scenario, factors []float64, sessions, slots int, seed uint64) ([]FleetVSweepRow, error) {
+	return experiments.FleetVSweep(s, factors, sessions, slots, seed)
+}
 
 // Offload runs the edge-offload scenario: octree streams over an emulated
 // uplink, the controller stabilizing the transmit queue.

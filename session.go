@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"qarv/internal/experiments"
+	"qarv/internal/geom"
 	"qarv/internal/queueing"
 	"qarv/internal/sim"
 )
@@ -132,6 +133,11 @@ func NewSession(opts ...Option) (*Session, error) {
 			p.Link = c.link
 		}
 		p.Observer = chainObservers(p.Observer, obs)
+		if c.seedSet {
+			// One seed drives capture and link alike; WithLink's own
+			// Seed (when nonzero) still wins for the link RNG.
+			p.Seed = c.seed
+		}
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
@@ -159,6 +165,13 @@ func NewSession(opts ...Option) (*Session, error) {
 			}
 			if !c.slotsSet {
 				cfg.Slots = c.scenario.Params.Slots
+			}
+		}
+		if c.seedSet {
+			rng := geom.NewRNG(c.seed)
+			reseed(rng, cfg.Service)
+			for _, dev := range cfg.Devices {
+				reseed(rng, dev.Policy, dev.Arrivals)
 			}
 		}
 		if err := cfg.Validate(); err != nil {
@@ -208,10 +221,29 @@ func NewSession(opts ...Option) (*Session, error) {
 				cfg.Slots = base.Slots
 			}
 		}
+		if c.seedSet {
+			reseed(geom.NewRNG(c.seed), cfg.Policy, cfg.Arrivals, cfg.Service)
+		}
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
 		return &Session{kind: KindSim, simCfg: cfg}, nil
+	}
+}
+
+// reseeder is implemented by stochastic components that can have their
+// RNG replaced (PoissonArrivals, NoisyService, the random policy, …).
+type reseeder interface{ Reseed(*geom.RNG) }
+
+// reseed hands each reseedable component an independent child stream of
+// rng, in argument order. Components that don't implement Reseed (or are
+// nil) are skipped without consuming a stream, so adding determinism to
+// one component never perturbs another's draws.
+func reseed(rng *geom.RNG, components ...any) {
+	for _, c := range components {
+		if r, ok := c.(reseeder); ok && r != nil {
+			r.Reseed(rng.Split())
+		}
 	}
 }
 
