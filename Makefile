@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-fleet examples clean
+.PHONY: all build test race vet doccheck bench bench-fleet examples clean
 
-all: vet build test
+all: vet doccheck build test
+
+# doccheck fails when any exported identifier lacks a doc comment (see
+# cmd/doccheck); the root package and internal/netem are the contract,
+# the rest of the tree is checked because it is already clean.
+doccheck:
+	$(GO) run ./cmd/doccheck -q . internal/* cmd/* examples/*
 
 build:
 	$(GO) build ./...
@@ -34,6 +40,7 @@ examples:
 	$(GO) run ./examples/streaming
 	$(GO) run ./examples/allocators
 	$(GO) run ./examples/fleet
+	$(GO) run ./examples/networks
 
 clean:
 	$(GO) clean ./...

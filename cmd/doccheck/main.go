@@ -1,0 +1,141 @@
+// Command doccheck is the repository's godoc linter: it fails when an
+// exported identifier in the given package directories lacks a doc
+// comment — a `go vet`-style stand-in for revive's `exported` rule that
+// needs nothing outside the standard library, so CI can enforce the
+// documentation contract without external tooling.
+//
+// Usage:
+//
+//	doccheck [-q] DIR [DIR...]
+//
+// For every directory, doccheck parses the non-test Go files and
+// reports each exported top-level declaration without a doc comment:
+// functions, methods on exported types, type specs, and const/var
+// specs. A doc comment on a grouped declaration block (`// Trajectory
+// verdicts.` above a const block) documents every spec in the block, as
+// godoc renders it. Exit status 1 when anything is missing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the per-directory ok lines")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-q] DIR [DIR...]")
+		os.Exit(2)
+	}
+	missing := 0
+	for _, dir := range flag.Args() {
+		n, err := checkDir(os.Stdout, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		if n == 0 && !*quiet {
+			fmt.Printf("doccheck: %s: ok\n", dir)
+		}
+		missing += n
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments\n", missing)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and prints a line per exported
+// identifier lacking documentation, returning the count.
+func checkDir(out io.Writer, dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	missing := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(out, "%s:%d: exported %s %s is missing a doc comment\n", p.Filename, p.Line, what, name)
+		missing++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					if d.Doc == nil {
+						what := "function"
+						if d.Recv != nil {
+							what = "method"
+						}
+						report(d.Pos(), what, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Doc != nil {
+						// A block-level comment documents every spec in
+						// the group, as godoc renders it.
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() && s.Doc == nil && s.Comment == nil {
+									report(name.Pos(), declWhat(d.Tok), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package's godoc
+// surface). Plain functions pass trivially.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// declWhat labels a value declaration for the report line.
+func declWhat(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

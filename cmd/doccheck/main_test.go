@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkSource(t *testing.T, src string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files are excluded from the check.
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"),
+		[]byte("package x\n\nfunc TestUndocumented() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := checkDir(&out, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, out.String()
+}
+
+func TestCheckDirFlagsMissingDocs(t *testing.T) {
+	n, out := checkSource(t, `package x
+
+func Exported() {}
+
+type T struct{}
+
+func (T) Method() {}
+
+const C = 1
+
+var V = 2
+`)
+	if n != 5 {
+		t.Fatalf("missing = %d, want 5:\n%s", n, out)
+	}
+	for _, want := range []string{"function Exported", "type T", "method Method", "const C", "var V"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckDirAcceptsDocumentedAndUnexported(t *testing.T) {
+	n, out := checkSource(t, `package x
+
+// Exported is documented.
+func Exported() {}
+
+// T is documented.
+type T struct{}
+
+// Method is documented.
+func (T) Method() {}
+
+type hidden struct{}
+
+func (hidden) Method() {} // methods on unexported types are fine
+
+func internal() {}
+
+// Group doc covers the block.
+const (
+	A = 1
+	B = 2
+)
+
+var v = 3 // unexported
+
+// C is documented inline at the spec.
+var C = 4
+`)
+	if n != 0 {
+		t.Fatalf("false positives:\n%s", out)
+	}
+}

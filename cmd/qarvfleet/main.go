@@ -7,6 +7,7 @@
 //
 //	qarvfleet [-n N] [-shards S] [-slots T] [-churn C] [-seed SEED]
 //	          [-mix name:weight,name:weight,...] [-acc A]
+//	          [-net class:weight,class:weight,...]
 //	          [-samples N] [-service-frac F] [-json]
 //
 // Profile names available in -mix (all built over one calibrated
@@ -25,6 +26,27 @@
 //
 // The default mix models a mostly-well-provisioned deployment:
 // proposed:0.7,noisy:0.15,bursty:0.15.
+//
+// -net crosses the policy mix with a weighted network-class mix: every
+// (profile, class) pair becomes a fleet device class whose service is
+// modulated by the network (weights multiply). Classes:
+//
+//	static          the profile's own service, unchanged (the default)
+//	markov          Gilbert–Elliott good/bad fading: ×1 in the good
+//	                state, ×0.3 in the bad (mean dwells 20 / 4 slots),
+//	                seeded per session
+//	trace           a built-in diurnal-style piecewise factor pattern;
+//	                trace:FILE replays a CSV/JSON trace normalized to
+//	                its peak, so measured bytes/slot captures and
+//	                hand-written factor patterns (peak 1) both scale
+//	                the profile's service sensibly
+//	handoff         mobility: mean 250-slot cell dwells, 4-slot outages,
+//	                new-cell capacity scale drawn from [0.7, 1.2]
+//
+// Example: -net static:0.5,markov:0.3,handoff:0.2 runs every policy
+// class under all three network regimes at once — the mixed
+// static/Markov/trace/handoff fleets the dynamic-network subsystem
+// exists for.
 package main
 
 import (
@@ -62,6 +84,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	churn := fs.Float64("churn", 0, "per-slot departure hazard in [0,1); departures backfill")
 	seed := fs.Uint64("seed", 1, "fleet seed (deterministic report for a given spec+seed)")
 	mix := fs.String("mix", "proposed:0.7,noisy:0.15,bursty:0.15", "weighted profile mix: name:weight,...")
+	netMix := fs.String("net", "static", "weighted network-class mix crossed with -mix: static, markov, trace[:FILE], handoff (class:weight,...)")
 	acc := fs.Float64("acc", 0.01, "quantile-sketch relative accuracy")
 	samples := fs.Int("samples", 60_000, "synthetic capture surface samples (scenario calibration)")
 	serviceFrac := fs.Float64("service-frac", 0.6, "service rate position in (a(d_max-1), a(d_max))")
@@ -87,6 +110,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	classes, err := parseNetMix(*netMix)
+	if err != nil {
+		return err
+	}
+	profiles = crossNetwork(profiles, classes)
 	fl, err := qarv.NewFleet(qarv.FleetSpec{
 		Sessions: *n,
 		Slots:    *slots,
@@ -247,6 +275,130 @@ func offloadProfile(scn *qarv.Scenario, name string, weight float64) (qarv.Profi
 			return &qarv.ConstantService{Rate: bandwidth}
 		},
 	}, nil
+}
+
+// netClass is one entry of the -net mix: a named network regime that
+// modulates a profile's service process.
+type netClass struct {
+	name   string
+	weight float64
+	// wrap modulates a profile's service by the class's capacity-factor
+	// process; nil leaves the service untouched (static).
+	wrap func(rng *qarv.RNG, inner qarv.ServiceProcess) qarv.ServiceProcess
+}
+
+// parseNetMix builds the network-class list from
+// "class:weight,class:weight,...". Classes: static, markov,
+// trace[:FILE], handoff. Trace files hold slot,factor pairs (CSV or
+// JSON); factors scale each profile's own service. Parsing is
+// positional: "class", "class:weight", "trace:FILE",
+// "trace:FILE:weight" — for the ambiguous "trace:X" form a numeric X
+// is a weight (name trace files with an extension).
+func parseNetMix(mix string) ([]netClass, error) {
+	var out []netClass
+	for _, entry := range strings.Split(mix, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		name := parts[0]
+		weight := 1.0
+		file := ""
+		switch {
+		case len(parts) == 1:
+		case len(parts) == 2:
+			if w, err := strconv.ParseFloat(parts[1], 64); err == nil {
+				weight = w
+			} else if name == "trace" {
+				file = parts[1]
+			} else {
+				return nil, fmt.Errorf("net entry %q: bad weight %q", entry, parts[1])
+			}
+		case len(parts) == 3 && name == "trace":
+			file = parts[1]
+			w, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("net entry %q: bad weight %q", entry, parts[2])
+			}
+			weight = w
+		default:
+			return nil, fmt.Errorf("net entry %q: want class[:weight] or trace:FILE[:weight]", entry)
+		}
+		c, err := buildNetClass(name, weight, file)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -net %q", mix)
+	}
+	return out, nil
+}
+
+// buildNetClass maps a -net name to its capacity-factor regime. The
+// factor processes are built per session from the session's service RNG
+// stream, so mixes stay byte-deterministic per seed at any shard count.
+func buildNetClass(name string, weight float64, file string) (netClass, error) {
+	c := netClass{name: name, weight: weight}
+	switch name {
+	case "static":
+	case "markov":
+		c.wrap = func(rng *qarv.RNG, inner qarv.ServiceProcess) qarv.ServiceProcess {
+			mb := qarv.DefaultMarkovFactor(rng.Split())
+			return &qarv.ModulatedService{Inner: inner, Factor: mb.Bandwidth}
+		}
+	case "trace":
+		tb, err := qarv.LoadFactorTrace(file)
+		if err != nil {
+			return c, err
+		}
+		// The trace is a pure function of the slot — one instance is
+		// safely shared by every session and shard.
+		c.wrap = func(_ *qarv.RNG, inner qarv.ServiceProcess) qarv.ServiceProcess {
+			return &qarv.ModulatedService{Inner: inner, Factor: tb.Bandwidth}
+		}
+	case "handoff":
+		c.wrap = func(rng *qarv.RNG, inner qarv.ServiceProcess) qarv.ServiceProcess {
+			hb := qarv.DefaultHandoffFactor(rng.Split())
+			return &qarv.ModulatedService{Inner: inner, Factor: hb.Bandwidth}
+		}
+	default:
+		return c, fmt.Errorf("unknown network class %q (want static, markov, trace[:FILE], handoff)", name)
+	}
+	return c, nil
+}
+
+// crossNetwork crosses the policy mix with the network mix: every
+// (profile, class) pair becomes one fleet device class (weights
+// multiply), the class's factor process modulating the profile's own
+// service. A pure static -net leaves the profiles untouched, so default
+// runs (and BENCH_fleet.json) are unchanged.
+func crossNetwork(profiles []qarv.Profile, classes []netClass) []qarv.Profile {
+	if len(classes) == 1 && classes[0].wrap == nil {
+		return profiles
+	}
+	out := make([]qarv.Profile, 0, len(profiles)*len(classes))
+	for _, p := range profiles {
+		for _, c := range classes {
+			combined := p
+			combined.Weight = p.Weight * c.weight
+			if c.wrap != nil {
+				combined.Name = p.Name + "+" + c.name
+				inner := p.NewService
+				wrap := c.wrap
+				combined.NewService = func(rng *qarv.RNG) qarv.ServiceProcess {
+					return wrap(rng, inner(rng))
+				}
+			}
+			out = append(out, combined)
+		}
+	}
+	return out
 }
 
 func printReport(out io.Writer, rep *qarv.FleetReport) {

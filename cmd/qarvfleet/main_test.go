@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -95,5 +96,153 @@ func TestRunCanceledContext(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(ctx, fleetArgs(), &out); err == nil {
 		t.Fatal("canceled context did not abort the run")
+	}
+}
+
+func TestRunNetworkMix(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		fleetArgs("-json", "-mix", "proposed:1,noisy:1",
+			"-net", "static:0.4,markov:0.3,trace:0.2,handoff:0.1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep qarv.FleetReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// 2 policy classes × 4 network classes = 8 device classes offered;
+	// static keeps the bare profile name, the rest are suffixed.
+	names := map[string]bool{}
+	for _, p := range rep.PerProfile {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"proposed", "proposed+markov", "noisy+handoff"} {
+		if !names[want] {
+			t.Errorf("missing crossed class %q in %v", want, names)
+		}
+	}
+	if rep.Total.DeviceSlots != 64*200 {
+		t.Errorf("device-slots = %d", rep.Total.DeviceSlots)
+	}
+}
+
+func TestRunNetworkMixDeterministicAcrossShards(t *testing.T) {
+	run1 := func(shards string) string {
+		var out bytes.Buffer
+		if err := run(context.Background(),
+			fleetArgs("-json", "-shards", shards, "-churn", "0.005",
+				"-net", "static:1,markov:1,handoff:1"), &out); err != nil {
+			t.Fatal(err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		// Drop the wall-clock and execution-detail fields, plus the
+		// float-sum-backed fields ("mean", "dropped_work") that the
+		// engine only guarantees up to FP association order across shard
+		// counts — the scenario's calibrated rates are fractional, so
+		// shard regrouping can move their last bits (see the
+		// internal/fleet package comment). Everything else — counters,
+		// sketch quantiles, min/max, verdicts — must be byte-identical.
+		delete(rep, "elapsed_ns")
+		delete(rep, "device_slots_per_sec")
+		delete(rep, "shards")
+		var scrub func(v any)
+		scrub = func(v any) {
+			switch x := v.(type) {
+			case map[string]any:
+				delete(x, "mean")
+				delete(x, "dropped_work")
+				for _, child := range x {
+					scrub(child)
+				}
+			case []any:
+				for _, child := range x {
+					scrub(child)
+				}
+			}
+		}
+		scrub(rep)
+		norm, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(norm)
+	}
+	if a, b := run1("1"), run1("4"); a != b {
+		t.Error("-net fleet differs across shard counts")
+	}
+}
+
+func TestRunNetworkTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.csv"
+	if err := os.WriteFile(path, []byte("# factors\n0,1\n50,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		fleetArgs("-json", "-mix", "proposed:1", "-net", "trace:"+path), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep qarv.FleetReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerProfile) != 1 || rep.PerProfile[0].Name != "proposed+trace" {
+		t.Errorf("per-profile: %+v", rep.PerProfile)
+	}
+}
+
+func TestRunRejectsBadNet(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), fleetArgs("-net", "nosuch"), &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown network class") {
+		t.Errorf("bad net accepted: %v", err)
+	}
+	if err := run(context.Background(), fleetArgs("-net", "trace:/no/such/file.csv"), &out); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	// Positional parsing: a second numeric part is malformed for
+	// non-trace classes, and trailing garbage is rejected rather than
+	// silently reinterpreted.
+	if err := run(context.Background(), fleetArgs("-net", "markov:2:3"), &out); err == nil ||
+		!strings.Contains(err.Error(), "net entry") {
+		t.Errorf("markov:2:3 accepted: %v", err)
+	}
+	if err := run(context.Background(), fleetArgs("-net", "markov:x"), &out); err == nil ||
+		!strings.Contains(err.Error(), "bad weight") {
+		t.Errorf("markov:x accepted: %v", err)
+	}
+	if err := run(context.Background(), fleetArgs("-net", "trace:file.csv:x"), &out); err == nil ||
+		!strings.Contains(err.Error(), "bad weight") {
+		t.Errorf("trace:file.csv:x accepted: %v", err)
+	}
+}
+
+func TestParseNetMixForms(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.csv"
+	if err := os.WriteFile(path, []byte("0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	classes, err := parseNetMix("static, markov:2, trace:" + path + ":0.5, handoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 4 {
+		t.Fatalf("classes: %d", len(classes))
+	}
+	if classes[1].weight != 2 || classes[2].weight != 0.5 || classes[3].weight != 1 {
+		t.Errorf("weights: %v %v %v", classes[1].weight, classes[2].weight, classes[3].weight)
+	}
+	// The ambiguous numeric form is a weight, as documented.
+	classes, err = parseNetMix("trace:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes[0].weight != 7 {
+		t.Errorf("trace:7 weight = %v, want 7 (built-in trace)", classes[0].weight)
 	}
 }

@@ -9,10 +9,20 @@
 //	        [-v V] [-knee SLOT] [-slots T] [-samples N] [-service-frac F]
 //	        [-seed S] [-chart]
 //	        [-devices N] [-alloc equal|proportional|maxweight|wrr]
+//	        [-net static|markov|trace[:FILE]|handoff]
 //
 // With -devices N the run becomes the shared-edge multi-device scenario:
 // N copies of the chosen policy contend for N× the calibrated service
 // budget, split per slot by the -alloc strategy.
+//
+// -net makes the service capacity time-varying: markov modulates it
+// with a Gilbert–Elliott good/bad fading chain (×1 / ×0.3), trace
+// replays a piecewise pattern (the built-in diurnal cycle, or a
+// CSV/JSON trace file normalized to its peak — measured bytes/slot
+// captures and hand-written factor patterns both work), and handoff
+// injects mobility outages with new-cell capacity scales. In
+// multi-device runs the modulation applies to the shared edge budget
+// the allocator splits.
 package main
 
 import (
@@ -57,6 +67,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	chart := fs.Bool("chart", false, "render ASCII backlog/depth charts")
 	devices := fs.Int("devices", 0, "run N devices sharing the edge budget (0 = single device)")
 	allocName := fs.String("alloc", "", "multi-device budget split: equal, proportional, maxweight, wrr (default equal)")
+	netName := fs.String("net", "static", "network dynamics modulating the service: static, markov, trace[:FILE], handoff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,13 +91,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *devices > 0 {
-		return runMulti(ctx, out, scn, *devices, *allocName, *policyName, *vOverride, uint64(*seed), *chart)
+		return runMulti(ctx, out, scn, *devices, *allocName, *policyName, *netName, *vOverride, uint64(*seed), *chart)
 	}
 	p, err := buildPolicy(*policyName, *vOverride, scn, uint64(*seed))
 	if err != nil {
 		return err
 	}
-	sess, err := qarv.NewSession(qarv.WithScenario(scn), qarv.WithPolicy(p))
+	opts := []qarv.Option{qarv.WithScenario(scn), qarv.WithPolicy(p)}
+	svc, netLabel, err := netService(*netName, scn.ServiceRate, uint64(*seed))
+	if err != nil {
+		return err
+	}
+	if svc != nil {
+		opts = append(opts, qarv.WithService(svc))
+	}
+	sess, err := qarv.NewSession(opts...)
 	if err != nil {
 		return err
 	}
@@ -99,6 +118,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "policy            %s\n", res.PolicyName)
 	fmt.Fprintf(out, "slots             %d\n", *slots)
 	fmt.Fprintf(out, "service rate      %.0f points/slot\n", scn.ServiceRate)
+	if netLabel != "static" {
+		fmt.Fprintf(out, "network           %s\n", netLabel)
+	}
 	if strings.HasPrefix(*policyName, "proposed") {
 		v := scn.V
 		if *vOverride > 0 {
@@ -145,8 +167,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 // runMulti drives the shared-edge multi-device scenario: n copies of the
 // chosen policy (each a fresh instance acting on purely local state)
-// contend for n× the calibrated budget under the named allocator.
-func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, allocName, policyName string, vOverride float64, seed uint64, chart bool) error {
+// contend for n× the calibrated budget under the named allocator,
+// optionally modulated by the -net dynamics.
+func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, allocName, policyName, netName string, vOverride float64, seed uint64, chart bool) error {
 	if allocName == "" {
 		allocName = "equal"
 	}
@@ -167,8 +190,16 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, all
 			Arrivals: &qarv.DeterministicArrivals{PerSlot: 1},
 		}
 	}
-	sess, err := qarv.NewSession(qarv.WithScenario(scn),
-		qarv.WithDevices(devs...), qarv.WithAllocator(allocator))
+	opts := []qarv.Option{qarv.WithScenario(scn),
+		qarv.WithDevices(devs...), qarv.WithAllocator(allocator)}
+	svc, netLabel, err := netService(netName, float64(n)*scn.ServiceRate, seed)
+	if err != nil {
+		return err
+	}
+	if svc != nil {
+		opts = append(opts, qarv.WithService(svc))
+	}
+	sess, err := qarv.NewSession(opts...)
 	if err != nil {
 		return err
 	}
@@ -181,6 +212,9 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, all
 	fmt.Fprintf(out, "devices           %d\n", n)
 	fmt.Fprintf(out, "allocator         %s\n", res.Allocator)
 	fmt.Fprintf(out, "edge budget       %.0f points/slot\n", float64(n)*scn.ServiceRate)
+	if netLabel != "static" {
+		fmt.Fprintf(out, "network           %s\n", netLabel)
+	}
 	fmt.Fprintf(out, "fleet verdict     %s\n", rep.Verdict)
 	fmt.Fprintf(out, "mean utility      %.4f\n", res.MeanTimeAvgUtility)
 	fmt.Fprintf(out, "total avg backlog %.0f\n", res.TotalTimeAvgBacklog)
@@ -207,6 +241,37 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, all
 		}
 	}
 	return nil
+}
+
+// netService builds the -net dynamics as a service process modulating
+// the given base rate: a nil process (with label "static") means the
+// scenario's own constant service stands. The factor processes are the
+// same netem types the offload dynamics use; their RNGs derive from the
+// run seed so repeated runs replay the same capacity path.
+func netService(name string, rate float64, seed uint64) (qarv.ServiceProcess, string, error) {
+	base := &qarv.ConstantService{Rate: rate}
+	traceFile := ""
+	if file, ok := strings.CutPrefix(name, "trace:"); ok {
+		name, traceFile = "trace", file
+	}
+	switch name {
+	case "", "static":
+		return nil, "static", nil
+	case "markov":
+		mb := qarv.DefaultMarkovFactor(qarv.NewRNG(seed ^ 0x6e6574))
+		return &qarv.ModulatedService{Inner: base, Factor: mb.Bandwidth}, mb.Name(), nil
+	case "trace":
+		tb, err := qarv.LoadFactorTrace(traceFile)
+		if err != nil {
+			return nil, "", err
+		}
+		return &qarv.ModulatedService{Inner: base, Factor: tb.Bandwidth}, tb.Name(), nil
+	case "handoff":
+		hb := qarv.DefaultHandoffFactor(qarv.NewRNG(seed ^ 0x6e6574))
+		return &qarv.ModulatedService{Inner: base, Factor: hb.Bandwidth}, hb.Name(), nil
+	default:
+		return nil, "", fmt.Errorf("unknown network %q (want static, markov, trace[:FILE], handoff)", name)
+	}
 }
 
 func buildPolicy(name string, vOverride float64, scn *qarv.Scenario, seed uint64) (qarv.Policy, error) {

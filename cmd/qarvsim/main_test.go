@@ -126,3 +126,33 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown allocator must error")
 	}
 }
+
+func TestRunNetworkDynamics(t *testing.T) {
+	for _, net := range []string{"markov", "trace", "handoff"} {
+		var out bytes.Buffer
+		if err := run(context.Background(),
+			append(simArgs(), "-net", net), &out); err != nil {
+			t.Fatalf("-net %s: %v", net, err)
+		}
+		if !strings.Contains(out.String(), "network") {
+			t.Errorf("-net %s: missing network line in:\n%s", net, out.String())
+		}
+	}
+	// Multi-device: the modulation applies to the shared budget.
+	var out bytes.Buffer
+	if err := run(context.Background(),
+		append(simArgs(), "-devices", "3", "-alloc", "maxweight", "-net", "markov"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "network           markov-bw") {
+		t.Errorf("multi-device -net missing network line:\n%s", out.String())
+	}
+	// Unknown networks and missing trace files are rejected.
+	if err := run(context.Background(), append(simArgs(), "-net", "nosuch"), &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown network") {
+		t.Errorf("bad -net accepted: %v", err)
+	}
+	if err := run(context.Background(), append(simArgs(), "-net", "trace:/no/such.csv"), &out); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -188,7 +188,12 @@ func (s *NoisyService) Reseed(rng *geom.RNG) { s.RNG = rng }
 
 // ModulatedService multiplies an inner process's capacity by a
 // time-varying factor — the failure-injection hook (thermal throttling,
-// background contention) used by the robustness experiments.
+// background contention) used by the robustness experiments and the
+// CLIs' -net network classes. It has no Reseed: a stochastic Factor
+// (e.g. a netem.MarkovBandwidth method value) must be seeded
+// explicitly by the caller — qarv.WithSeed cannot see through the
+// closure, and an unseeded stochastic factor stays pinned to its start
+// state.
 type ModulatedService struct {
 	Inner  ServiceProcess
 	Factor func(t int) float64

@@ -9,6 +9,7 @@ import (
 	"qarv/internal/alloc"
 	"qarv/internal/core"
 	"qarv/internal/delay"
+	"qarv/internal/geom"
 	"qarv/internal/netem"
 	"qarv/internal/queueing"
 	"qarv/internal/sim"
@@ -242,6 +243,14 @@ type SharedUplinkParams struct {
 	// multiplied by the fleet size.
 	Bandwidth         float64
 	BandwidthFraction float64
+	// BandwidthProcess, when non-nil, makes the shared uplink's total
+	// serialization capacity time-varying: the allocator splits
+	// whatever the process yields each slot (in absolute bytes/slot)
+	// instead of the constant bandwidth above. The static sizing still
+	// anchors V calibration and the propagation link; stochastic
+	// processes are reseeded deterministically from Seed at the start
+	// of every run, so repeated runs replay the same capacity path.
+	BandwidthProcess netem.BandwidthProcess
 	// Link shape (defaults 2, 0.3, 0.01 as in OffloadParams; zero
 	// values take the defaults — use Link to express literal zeros).
 	LatencySlots float64
@@ -343,6 +352,22 @@ type SharedUplinkResult struct {
 // lost (degenerate link).
 var ErrNoSharedDeliveries = errors.New("experiments: shared uplink delivered no frames")
 
+// bandwidthService adapts a netem.BandwidthProcess into the
+// delay.ServiceProcess the multi-device engine consumes: the per-slot
+// uplink capacity becomes the shared budget the allocator splits.
+// Outage slots (non-positive rates) become zero capacity.
+type bandwidthService struct{ p netem.BandwidthProcess }
+
+func (s bandwidthService) Service(t int) float64 {
+	r := s.p.Bandwidth(t)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (s bandwidthService) Name() string { return s.p.Name() }
+
 // SharedUplink runs the fleet against one emulated uplink.
 func SharedUplink(params SharedUplinkParams) (*SharedUplinkResult, error) {
 	return SharedUplinkContext(context.Background(), params)
@@ -426,9 +451,25 @@ func SharedUplinkContext(ctx context.Context, params SharedUplinkParams) (*Share
 		}
 	}
 
+	var service delay.ServiceProcess = &delay.ConstantService{Rate: bandwidth}
+	if p.BandwidthProcess != nil {
+		if v, ok := p.BandwidthProcess.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		// Run on a deep copy reseeded from Seed: the caller's process
+		// is never mutated and repeated runs replay the same capacity
+		// path.
+		proc := netem.CloneProcess(p.BandwidthProcess)
+		if r, ok := proc.(interface{ Reseed(*geom.RNG) }); ok {
+			r.Reseed(geom.NewRNG(p.Seed ^ 0x73686172)) // "shar"
+		}
+		service = bandwidthService{proc}
+	}
 	multi, err := sim.RunMultiContext(ctx, sim.MultiConfig{
 		Devices:   devices,
-		Service:   &delay.ConstantService{Rate: bandwidth},
+		Service:   service,
 		Allocator: p.Allocator,
 		Slots:     p.Slots,
 		Observer:  p.Observer,

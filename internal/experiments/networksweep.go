@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qarv/internal/delay"
+	"qarv/internal/fleet"
+	"qarv/internal/geom"
+	"qarv/internal/netem"
+)
+
+// ---------------------------------------------------------------------------
+// ABL-NET — stability/utility vs. bandwidth volatility
+// ---------------------------------------------------------------------------
+//
+// Every prior ablation held the network fixed: a constant service rate
+// (or uplink bandwidth) calibrated so the deepest depth is unstable.
+// The related work the repo tracks (Ren et al.'s edge-MAR architecture,
+// Chen et al.'s QoS-constrained allocation) centers on links whose
+// capacity moves; this sweep quantifies what that motion costs. Each
+// point runs a fleet whose sessions see a Markov-modulated (good/bad)
+// capacity with the *same mean* as the calibrated rate — a
+// mean-preserving spread, so rising volatility isolates variance from
+// provisioning. As volatility rises, bad-state dwells back the queue
+// up, the controller buys stability with shallower depths, and the
+// fleet's time-average utility degrades while tail backlogs grow.
+
+// NetworkSweepRow is one volatility point of the ablation.
+type NetworkSweepRow struct {
+	// Volatility is the capacity spread v: the good state serves at
+	// (1+v)× and the bad state at (1−v)× the calibrated rate.
+	Volatility float64
+	// GoodRate and BadRate are the two absolute capacity levels.
+	GoodRate, BadRate float64
+	// Fleet-wide aggregates (see fleet.QuantileSummary semantics).
+	MeanUtility float64
+	MeanBacklog float64
+	P95Backlog  float64
+	P99Sojourn  float64
+	Sessions    int64
+	Verdicts    fleet.VerdictCounts
+}
+
+// ErrBadVolatility reports a volatility outside [0, 1).
+var ErrBadVolatility = errors.New("experiments: volatility must lie in [0, 1)")
+
+// NetworkSweep runs a fleet per volatility point, every session drawing
+// its capacity from an independent mean-preserving Markov (good/bad)
+// chain around the calibrated service rate, and summarizes the
+// population through the fleet sketches. Mean utility degrades and tail
+// backlog grows monotonically as volatility rises — the dynamic-network
+// cost curve. Zero sessions/slots take 256 sessions × 2× the scenario
+// horizon; nil volatilities take {0, 0.3, 0.6, 0.9}.
+func NetworkSweep(s *Scenario, volatilities []float64, sessions, slots int, seed uint64) ([]NetworkSweepRow, error) {
+	return NetworkSweepContext(context.Background(), s, volatilities, sessions, slots, seed)
+}
+
+// NetworkSweepContext is NetworkSweep under a cancelable context,
+// honored inside every shard's slot loops.
+func NetworkSweepContext(ctx context.Context, s *Scenario, volatilities []float64, sessions, slots int, seed uint64) ([]NetworkSweepRow, error) {
+	if len(volatilities) == 0 {
+		volatilities = []float64{0, 0.3, 0.6, 0.9}
+	}
+	if sessions <= 0 {
+		sessions = 256
+	}
+	if slots <= 0 {
+		slots = 2 * s.Params.Slots
+	}
+	rate := s.ServiceRate
+	rows := make([]NetworkSweepRow, 0, len(volatilities))
+	for _, v := range volatilities {
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("%w: %v", ErrBadVolatility, v)
+		}
+		good, bad := rate*(1+v), rate*(1-v)
+		prof := s.FleetProfile(fmt.Sprintf("markov-v%.2f", v), 1, 1)
+		prof.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+			// Symmetric transition probabilities: the stationary split is
+			// 50/50, so the mean capacity equals the calibrated rate at
+			// every volatility — only the variance moves. Mean dwell 10
+			// slots per state, long enough for bad states to back the
+			// queue up, short enough to mix over the horizon.
+			return &netem.MarkovBandwidth{
+				GoodRate: good, BadRate: bad,
+				PGoodBad: 0.1, PBadGood: 0.1,
+				RNG: rng,
+			}
+		}
+		rep, err := fleet.RunContext(ctx, fleet.Spec{
+			Sessions: sessions,
+			Slots:    slots,
+			Seed:     seed,
+			Profiles: []fleet.Profile{prof},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("volatility %g: %w", v, err)
+		}
+		rows = append(rows, NetworkSweepRow{
+			Volatility:  v,
+			GoodRate:    good,
+			BadRate:     bad,
+			MeanUtility: rep.Total.Utility.Mean,
+			MeanBacklog: rep.Total.Backlog.Mean,
+			P95Backlog:  rep.Total.Backlog.P95,
+			P99Sojourn:  rep.Total.Sojourn.P99,
+			Sessions:    rep.Total.Sessions,
+			Verdicts:    rep.Total.Verdicts,
+		})
+	}
+	return rows, nil
+}

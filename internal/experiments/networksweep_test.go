@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestNetworkSweepMonotoneDegradation pins the acceptance property of
+// the dynamic-network subsystem: under a mean-preserving capacity
+// spread, rising bandwidth volatility monotonically degrades the
+// fleet — time-average utility falls and the tail (P95) backlog grows.
+// The runs are fully deterministic per seed, so this is a stable pin,
+// not a statistical flake.
+func TestNetworkSweepMonotoneDegradation(t *testing.T) {
+	s := sharedScenario(t)
+	rows, err := NetworkSweep(s, []float64{0, 0.45, 0.9}, 48, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanUtility > rows[i-1].MeanUtility+1e-9 {
+			t.Errorf("mean utility rose with volatility: %v (v=%g) -> %v (v=%g)",
+				rows[i-1].MeanUtility, rows[i-1].Volatility, rows[i].MeanUtility, rows[i].Volatility)
+		}
+		if rows[i].P95Backlog < rows[i-1].P95Backlog-1e-9 {
+			t.Errorf("P95 backlog fell with volatility: %v (v=%g) -> %v (v=%g)",
+				rows[i-1].P95Backlog, rows[i-1].Volatility, rows[i].P95Backlog, rows[i].Volatility)
+		}
+	}
+	// The spread must actually cost something, not just not-improve.
+	if rows[2].MeanUtility >= rows[0].MeanUtility {
+		t.Errorf("volatility 0.9 did not degrade utility: %v vs %v at 0",
+			rows[2].MeanUtility, rows[0].MeanUtility)
+	}
+	if rows[2].P95Backlog <= rows[0].P95Backlog {
+		t.Errorf("volatility 0.9 did not grow tail backlog: %v vs %v at 0",
+			rows[2].P95Backlog, rows[0].P95Backlog)
+	}
+	// The v=0 point is the static-network baseline: a calibrated,
+	// stabilizable fleet with no diverging sessions.
+	if rows[0].Verdicts.Diverging != 0 {
+		t.Errorf("static baseline diverging sessions: %d", rows[0].Verdicts.Diverging)
+	}
+	for _, r := range rows {
+		if r.Sessions != 48 {
+			t.Errorf("v=%g: %d sessions, want 48", r.Volatility, r.Sessions)
+		}
+		if r.GoodRate < r.BadRate {
+			t.Errorf("v=%g: good %v < bad %v", r.Volatility, r.GoodRate, r.BadRate)
+		}
+	}
+}
+
+func TestNetworkSweepRejectsBadVolatility(t *testing.T) {
+	s := sharedScenario(t)
+	if _, err := NetworkSweep(s, []float64{0.5, 1.0}, 4, 50, 1); !errors.Is(err, ErrBadVolatility) {
+		t.Errorf("volatility 1.0: %v", err)
+	}
+	if _, err := NetworkSweep(s, []float64{-0.1}, 4, 50, 1); !errors.Is(err, ErrBadVolatility) {
+		t.Errorf("negative volatility: %v", err)
+	}
+}

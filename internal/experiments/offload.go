@@ -8,6 +8,7 @@ import (
 
 	"qarv/internal/core"
 	"qarv/internal/delay"
+	"qarv/internal/geom"
 	"qarv/internal/netem"
 	"qarv/internal/octree"
 	"qarv/internal/quality"
@@ -59,6 +60,19 @@ type OffloadParams struct {
 	// (0,1), DropStart non-negative, and DropStart < DropEnd < Slots.
 	DropStart, DropEnd int
 	DropFactor         float64
+	// Dynamics, when non-nil, makes the uplink time-varying: its
+	// BandwidthProcess retunes the link at the top of every slot
+	// (Markov-modulated capacity, trace replay, mobility handoffs with
+	// outage gaps). The static sizing above still fixes the reference
+	// bandwidth V is calibrated against; the process then modulates the
+	// live link. The controller observes the transmit queue through the
+	// link's exact byte accounting (netem.Link.BacklogBytes), since the
+	// delay×rate estimate is wrong the moment the rate moves. Dynamics
+	// RNGs are reseeded from Seed (or Dynamics.Seed when nonzero) at the
+	// start of every run, so reports stay byte-identical per seed.
+	// Mutually exclusive with BandwidthDrop — express a one-off drop as
+	// a three-point netem.TraceBandwidth instead.
+	Dynamics *netem.LinkDynamics
 	// Observer, when non-nil, receives every slot's event as the control
 	// loop runs. Offload semantics differ from sim runs: Arrived is the
 	// frame's bytes offered to the uplink (reported even when link-layer
@@ -110,6 +124,11 @@ func (p OffloadParams) withDefaults() OffloadParams {
 // ErrBadDropWindow reports an invalid bandwidth-drop failure injection.
 var ErrBadDropWindow = errors.New("experiments: invalid bandwidth-drop window")
 
+// ErrDropWithDynamics reports BandwidthDrop combined with Dynamics: the
+// per-slot dynamics would silently overwrite the drop's SetBandwidth
+// calls, so the combination is rejected instead of misbehaving.
+var ErrDropWithDynamics = errors.New("experiments: BandwidthDrop and Dynamics are mutually exclusive (use a netem.TraceBandwidth for a one-off drop)")
+
 // Validate checks the parameters (after default resolution) without
 // building the capture: the character preset must exist, every candidate
 // depth must fit inside the capture lattice, and an enabled bandwidth
@@ -151,6 +170,14 @@ func (p OffloadParams) Validate() error {
 			return err
 		}
 	}
+	if p.Dynamics != nil {
+		if d.DropFactor != 0 {
+			return ErrDropWithDynamics
+		}
+		if err := p.Dynamics.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -160,7 +187,10 @@ type OffloadResult struct {
 	Params    OffloadParams
 	Bandwidth float64 // bytes/slot
 	V         float64
-	Bytes     []int // stream bytes per depth (the cost profile)
+	// Network names the uplink's bandwidth dynamics ("static" for a
+	// fixed-parameter link).
+	Network string
+	Bytes   []int // stream bytes per depth (the cost profile)
 
 	BacklogBytes []float64 // uplink queue in bytes, per slot
 	Depth        []int     // chosen depth per slot
@@ -288,11 +318,25 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 	if err != nil {
 		return nil, err
 	}
+	if p.Dynamics != nil {
+		// Fresh dynamics per run, like the link RNG above: the run
+		// works on a deep copy (the caller's structs are never mutated,
+		// so one Session can Run concurrently) reseeded from the
+		// capture seed (or the dynamics' own Seed), replaying the exact
+		// same capacity trajectory every run — byte-identical reports.
+		seed := p.Dynamics.Seed
+		if seed == 0 {
+			seed = p.Seed
+		}
+		p.Dynamics = p.Dynamics.Clone()
+		p.Dynamics.Reseed(geom.NewRNG(seed ^ 0x64796e61)) // "dyna"
+	}
 
 	res := &OffloadResult{
 		Params:       p,
 		Bandwidth:    bandwidth,
 		V:            v,
+		Network:      p.Dynamics.Name(),
 		Bytes:        bytesProfile,
 		BacklogBytes: make([]float64, p.Slots),
 		Depth:        make([]int, p.Slots),
@@ -314,8 +358,18 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 			}
 		}
 		// The controller observes the uplink backlog in bytes (the fluid
-		// queue the busy period implies).
-		q := link.QueueDelay(t) * link.Bandwidth()
+		// queue the busy period implies). Static links keep the
+		// delay×rate estimate (bit-identical to the historical runs);
+		// dynamic links use the exact byte accounting, since the
+		// estimate revalues queued bytes at whatever the rate just
+		// became.
+		var q float64
+		if p.Dynamics != nil {
+			p.Dynamics.Apply(link, t)
+			q = link.BacklogBytes(float64(t))
+		} else {
+			q = link.QueueDelay(t) * link.Bandwidth()
+		}
 		res.BacklogBytes[t] = q
 		d := ctrl.Decide(t, q)
 		res.Depth[t] = d

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"testing"
 
+	"qarv/internal/netem"
 	"qarv/internal/queueing"
 )
 
@@ -118,5 +120,108 @@ func TestOffloadBadCharacter(t *testing.T) {
 	p.Character = "nobody"
 	if _, err := Offload(p); err == nil {
 		t.Error("unknown character must error")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-network offload
+// ---------------------------------------------------------------------------
+
+func TestOffloadDynamicsValidation(t *testing.T) {
+	p := offloadParams()
+	p.Dynamics = &netem.LinkDynamics{} // no process
+	if err := p.Validate(); !errors.Is(err, netem.ErrNilProcess) {
+		t.Errorf("nil process: %v", err)
+	}
+	p.Dynamics = &netem.LinkDynamics{Process: &netem.MarkovBandwidth{GoodRate: -1}}
+	if err := p.Validate(); !errors.Is(err, netem.ErrBadMarkov) {
+		t.Errorf("bad markov: %v", err)
+	}
+	// Dynamics and the legacy BandwidthDrop injection are mutually
+	// exclusive.
+	p = offloadParams()
+	p.Slots = 1600
+	p.DropStart, p.DropEnd, p.DropFactor = 600, 1000, 0.5
+	p.Dynamics = &netem.LinkDynamics{Process: &netem.ConstantBandwidth{Rate: 1}}
+	if err := p.Validate(); !errors.Is(err, ErrDropWithDynamics) {
+		t.Errorf("drop+dynamics: %v", err)
+	}
+}
+
+// TestOffloadMarkovDynamics: a volatile uplink degrades delivered
+// quality relative to the static link of equal mean, the run stays
+// deterministic per seed, and the dynamics name lands in the result.
+func TestOffloadMarkovDynamics(t *testing.T) {
+	base := offloadParams()
+	static, err := Offload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Network != "static" {
+		t.Errorf("static run network = %q", static.Network)
+	}
+
+	run := func() *OffloadResult {
+		p := offloadParams()
+		p.Dynamics = &netem.LinkDynamics{Process: &netem.MarkovBandwidth{
+			GoodRate: static.Bandwidth * 1.5,
+			BadRate:  static.Bandwidth * 0.5,
+			PGoodBad: 0.1, PBadGood: 0.1,
+		}}
+		res, err := Offload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dyn := run()
+	if dyn.Network != "markov-bw" {
+		t.Errorf("network = %q", dyn.Network)
+	}
+	if dyn.MeanDepth >= static.MeanDepth {
+		t.Errorf("volatile uplink did not reduce mean depth: %v vs static %v",
+			dyn.MeanDepth, static.MeanDepth)
+	}
+	// Byte-determinism: an identical spec replays the identical report.
+	again := run()
+	if dyn.MeanDepth != again.MeanDepth || dyn.MeanLatency != again.MeanLatency ||
+		dyn.LossCount != again.LossCount {
+		t.Errorf("dynamic offload not deterministic per seed: %+v vs %+v",
+			dyn.MeanDepth, again.MeanDepth)
+	}
+	for i, q := range dyn.BacklogBytes {
+		if q != again.BacklogBytes[i] {
+			t.Fatalf("backlog trajectory diverged at slot %d", i)
+		}
+	}
+}
+
+// TestOffloadHandoffDynamics: mobility handoffs (outage + cell reset)
+// flow through the link without breaking the run, and the controller
+// still avoids divergence.
+func TestOffloadHandoffDynamics(t *testing.T) {
+	p := offloadParams()
+	p.Dynamics = &netem.LinkDynamics{Process: &netem.HandoffBandwidth{
+		BaseRate:          1, // placeholder; scaled below once bandwidth is known
+		MeanIntervalSlots: 150,
+		OutageSlots:       3,
+		ScaleLo:           0.8,
+		ScaleHi:           1.2,
+	}}
+	// Size the cell rate from a static reference run.
+	ref, err := Offload(offloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Dynamics.Process.(*netem.HandoffBandwidth).BaseRate = ref.Bandwidth
+	res, err := Offload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network != "handoff" {
+		t.Errorf("network = %q", res.Network)
+	}
+	if res.Verdict == queueing.VerdictDiverging {
+		t.Errorf("handoff dynamics diverged the uplink queue")
 	}
 }

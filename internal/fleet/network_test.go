@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+
+	"qarv/internal/delay"
+	"qarv/internal/geom"
+	"qarv/internal/netem"
+)
+
+// networkMix is a fleet whose device classes differ only in their
+// *network*: the same fixed policy and cost everywhere, but four
+// capacity regimes — static, Markov-modulated, trace replay, and
+// mobility handoffs. The netem bandwidth processes implement
+// delay.ServiceProcess directly, so they drop into Profile.NewService
+// with no adapter.
+func networkMix() []Profile {
+	static := fixedProfile("static", 1, 1, 12, 10)
+
+	markov := fixedProfile("markov", 1, 1, 12, 10)
+	markov.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+		return &netem.MarkovBandwidth{
+			GoodRate: 14, BadRate: 6,
+			PGoodBad: 0.1, PBadGood: 0.2,
+			RNG: rng,
+		}
+	}
+
+	traced := fixedProfile("trace", 1, 1, 12, 10)
+	traced.NewService = func(*geom.RNG) delay.ServiceProcess {
+		return &netem.TraceBandwidth{
+			Points: []netem.TracePoint{
+				{Slot: 0, BytesPerSlot: 14},
+				{Slot: 30, BytesPerSlot: 8},
+				{Slot: 60, BytesPerSlot: 12},
+			},
+			Period: 90,
+		}
+	}
+
+	// The cell scale stays pinned (ScaleLo=ScaleHi=0 ⇒ 1) so every
+	// service amount is integer-valued and even the float-sum-backed
+	// Mean fields are exact across shard regroupings; the outage gap is
+	// what distinguishes the class here.
+	handoff := fixedProfile("handoff", 1, 1, 12, 10)
+	handoff.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+		return &netem.HandoffBandwidth{
+			BaseRate:          12,
+			MeanIntervalSlots: 40,
+			OutageSlots:       2,
+			RNG:               rng,
+		}
+	}
+
+	return []Profile{static, markov, traced, handoff}
+}
+
+// TestNetworkMixDeterministicAcrossShardCounts pins the dynamic-network
+// acceptance criterion: a fleet mixing four network classes (static,
+// Markov, trace-driven, handoff) is byte-deterministic per seed
+// independent of the shard count. Integer rates keep even the
+// float-sum-backed fields exact, as in TestDeterminismAcrossShardCounts.
+func TestNetworkMixDeterministicAcrossShardCounts(t *testing.T) {
+	base := Spec{Sessions: 48, Slots: 150, Churn: 0.005, Seed: 11, Profiles: networkMix()}
+
+	var want []byte
+	for _, shards := range []int{1, 3, 8} {
+		spec := base
+		spec.Shards = shards
+		rep, err := Run(spec)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		// Every class must have been drawn, or the mix isn't exercised.
+		if len(rep.PerProfile) != 4 {
+			t.Fatalf("shards=%d: %d profiles in report, want 4", shards, len(rep.PerProfile))
+		}
+		for _, p := range rep.PerProfile {
+			if p.Sessions == 0 {
+				t.Fatalf("shards=%d: class %q drew no sessions", shards, p.Name)
+			}
+		}
+		got, err := json.Marshal(normalize(rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("shards=%d: network-mix report differs from shards=1 run", shards)
+		}
+	}
+
+	// The network actually differentiates the classes: the handoff
+	// class (outages) must not match the static class on backlog.
+	rep, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ProfileReport{}
+	for _, p := range rep.PerProfile {
+		byName[p.Name] = p
+	}
+	if byName["handoff"].Backlog.Max <= byName["static"].Backlog.Max {
+		t.Errorf("handoff outages left no backlog trace: handoff max %v vs static max %v",
+			byName["handoff"].Backlog.Max, byName["static"].Backlog.Max)
+	}
+}

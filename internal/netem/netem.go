@@ -46,6 +46,21 @@ type Link struct {
 	sent      int
 	dropped   int
 	bytesSent float64
+
+	// pending tracks serialization schedules of transmissions that may
+	// still be (partially) unserialized, for exact BacklogBytes
+	// accounting under time-varying bandwidth. head indexes the first
+	// live entry (compaction, as in queueing.FrameQueue).
+	pending []pendingTx
+	head    int
+}
+
+// pendingTx is one transmission's frozen serialization schedule: bytes
+// serialize uniformly over [start, finish]. The schedule is fixed at
+// Transmit time and never revised — that is the SetBandwidth contract.
+type pendingTx struct {
+	start, finish float64
+	bytes         float64
 }
 
 // NewLink validates cfg and returns a link.
@@ -87,6 +102,13 @@ func (l *Link) Transmit(bytes float64, now int) Transmission {
 	}
 	txTime := bytes / l.cfg.BytesPerSlot
 	l.busyUntil = start + txTime
+	if bytes > 0 {
+		// Lost frames still occupy the busy period, so they are pending
+		// too: their bytes sit on the uplink even though they never
+		// deliver.
+		l.prunePending(float64(now))
+		l.pending = append(l.pending, pendingTx{start: start, finish: l.busyUntil, bytes: bytes})
+	}
 	out := Transmission{
 		StartSlot:     start,
 		QueueingDelay: start - float64(now),
@@ -147,15 +169,94 @@ func (l *Link) QueueDelay(now int) float64 {
 	return d
 }
 
-// SetBandwidth changes the link's serialization rate from now on — the
-// failure-injection hook for mid-session bandwidth drops (handover,
-// congestion). In-flight transmissions keep their original schedule.
+// SetBandwidth changes the link's serialization rate for transmissions
+// enqueued from now on — the hook for mid-session bandwidth changes
+// (handover, congestion, the LinkDynamics layer). Transmissions already
+// enqueued keep their original schedule: their Transmission outcomes
+// were returned at enqueue time, and neither QueueDelay nor
+// BacklogBytes revises them retroactively.
 func (l *Link) SetBandwidth(bytesPerSlot float64) error {
 	if bytesPerSlot <= 0 {
 		return fmt.Errorf("%w: %v", ErrBadBandwidth, bytesPerSlot)
 	}
 	l.cfg.BytesPerSlot = bytesPerSlot
 	return nil
+}
+
+// Suspend blocks serialization before slot until: transmissions
+// enqueued after the call start no earlier than until. It never
+// shortens the busy period — and, by the same token, it is a no-op on
+// a link already busy past until, so it does NOT model dead time on a
+// loaded link (a standing queue would keep "serializing" through the
+// gap). Use Stall for an outage that must cost schedule time
+// regardless of load; Suspend is the primitive for absolute embargoes
+// on an idle-ish link. Already-returned Transmissions keep their
+// schedules in either case.
+func (l *Link) Suspend(until float64) {
+	if until > l.busyUntil {
+		l.busyUntil = until
+	}
+}
+
+// Stall inserts dead time into the serialization schedule: nothing new
+// serializes for the given number of slots starting at from (or at the
+// end of the current busy period, whichever is later), so the horizon
+// future enqueues queue behind grows by exactly slots — outages
+// accumulate even under a standing backlog, where Suspend would be a
+// no-op. The one modeling concession is the never-revise contract:
+// transmissions whose Transmission was already returned keep their
+// frozen schedules, so previously queued bytes still "drain" on paper
+// during the stall while everything enqueued afterwards pays for it.
+// This is the primitive LinkDynamics uses to realize zero-bandwidth
+// (outage) slots.
+func (l *Link) Stall(from, slots float64) {
+	if slots <= 0 {
+		return
+	}
+	start := l.busyUntil
+	if start < from {
+		start = from
+	}
+	l.busyUntil = start + slots
+}
+
+// prunePending drops schedules fully serialized by slot now, compacting
+// the backing array once the dead prefix dominates.
+func (l *Link) prunePending(now float64) {
+	for l.head < len(l.pending) && l.pending[l.head].finish <= now {
+		l.pending[l.head] = pendingTx{}
+		l.head++
+	}
+	if l.head == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.head = 0
+	} else if l.head > 64 && l.head*2 > len(l.pending) {
+		n := copy(l.pending, l.pending[l.head:])
+		l.pending = l.pending[:n]
+		l.head = 0
+	}
+}
+
+// BacklogBytes returns the bytes enqueued on the link but not yet
+// serialized at slot now: queued frames count in full, the in-flight
+// frame by the unserialized remainder of its frozen schedule. Unlike
+// the QueueDelay(now)·Bandwidth() estimate, this is exact when the
+// bandwidth has changed while frames were queued — each frame's bytes
+// are valued against the rate its schedule was built with, never
+// retroactively revalued at the current rate. For a link whose
+// bandwidth never changed the two agree (up to float rounding).
+func (l *Link) BacklogBytes(now float64) float64 {
+	l.prunePending(now)
+	var sum float64
+	for _, p := range l.pending[l.head:] {
+		switch {
+		case now <= p.start:
+			sum += p.bytes
+		case now < p.finish:
+			sum += p.bytes * (p.finish - now) / (p.finish - p.start)
+		}
+	}
+	return sum
 }
 
 // Bandwidth returns the current serialization rate.

@@ -197,3 +197,145 @@ func TestLinkZeroByteFrames(t *testing.T) {
 		t.Errorf("negative bytes must clamp: %v", tx.DeliveredSlot)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Dynamic-bandwidth edge cases: the contracts the dynamics layer leans on.
+// ---------------------------------------------------------------------------
+
+// Regression pin: a bandwidth drop while the link is busy must not
+// retroactively change already-scheduled deliveries. Schedules freeze
+// at Transmit time; only transmissions enqueued after the change see
+// the new rate.
+func TestSetBandwidthMidBusyDoesNotRescheduleDeliveries(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 100, LatencySlots: 1})
+	first := l.Transmit(200, 0)  // serializes [0,2), delivered 3
+	second := l.Transmit(100, 0) // queued: serializes [2,3), delivered 4
+	if first.DeliveredSlot != 3 || second.DeliveredSlot != 4 {
+		t.Fatalf("baseline schedule: %v, %v", first.DeliveredSlot, second.DeliveredSlot)
+	}
+
+	// Drop the bandwidth 10x while both frames are on the link.
+	if err := l.SetBandwidth(10); err != nil {
+		t.Fatal(err)
+	}
+	// The busy period is unchanged: a frame arriving at slot 1 still
+	// waits exactly until slot 3...
+	if d := l.QueueDelay(1); d != 2 {
+		t.Errorf("queue delay after drop = %v, want 2 (schedules frozen)", d)
+	}
+	// ...and serializes at the new rate from there.
+	third := l.Transmit(10, 1)
+	if third.StartSlot != 3 {
+		t.Errorf("third start = %v, want 3", third.StartSlot)
+	}
+	if third.DeliveredSlot != 5 { // 3 + 10/10 + 1 latency
+		t.Errorf("third delivered = %v, want 5", third.DeliveredSlot)
+	}
+	// Raising the bandwidth back mid-busy does not accelerate the queue
+	// either.
+	if err := l.SetBandwidth(1000); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.QueueDelay(1); d != 3 {
+		t.Errorf("queue delay after restore = %v, want 3", d)
+	}
+}
+
+// SetBandwidth mid-busy-period: BacklogBytes values every frame against
+// the rate its schedule was built with, never the current rate.
+func TestBacklogBytesExactUnderBandwidthChange(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 100})
+	l.Transmit(200, 0) // serializes [0,2)
+	l.Transmit(100, 0) // serializes [2,3)
+	if got := l.BacklogBytes(0); got != 300 {
+		t.Fatalf("backlog at 0 = %v, want 300", got)
+	}
+	// Half of the first frame is out the door at slot 1.
+	if got := l.BacklogBytes(1); got != 200 {
+		t.Fatalf("backlog at 1 = %v, want 200", got)
+	}
+	// A 10x drop must not revalue the queued 200 bytes (the naive
+	// QueueDelay*Bandwidth estimate would report 2 slots * 10 B/slot = 20).
+	if err := l.SetBandwidth(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.BacklogBytes(1); got != 200 {
+		t.Fatalf("backlog after drop = %v, want 200", got)
+	}
+	if est := l.QueueDelay(1) * l.Bandwidth(); est == 200 {
+		t.Fatalf("estimate unexpectedly exact (%v); the regression would be invisible", est)
+	}
+	// New frames at the new rate join the exact accounting.
+	l.Transmit(50, 1) // serializes [3,8) at 10 B/slot
+	if got := l.BacklogBytes(1); got != 250 {
+		t.Fatalf("backlog with new frame = %v, want 250", got)
+	}
+	if got := l.BacklogBytes(5.5); got != 25 { // half of the 50-byte frame left
+		t.Fatalf("backlog mid-serialization = %v, want 25", got)
+	}
+	if got := l.BacklogBytes(100); got != 0 {
+		t.Fatalf("backlog after drain = %v, want 0", got)
+	}
+}
+
+// For a constant-rate link the exact accounting agrees with the
+// QueueDelay*Bandwidth estimate the offload loop historically used.
+func TestBacklogBytesMatchesEstimateOnStaticLink(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 128})
+	for slot := 0; slot < 50; slot++ {
+		l.Transmit(float64(100+slot*7), slot)
+		got := l.BacklogBytes(float64(slot))
+		est := l.QueueDelay(slot) * l.Bandwidth()
+		if math.Abs(got-est) > 1e-6*math.Max(1, est) {
+			t.Fatalf("slot %d: exact %v vs estimate %v", slot, got, est)
+		}
+	}
+}
+
+// A handoff outage overlapping an in-flight transmission: the in-flight
+// frame keeps its already-returned delivery, queued frames wait out the
+// outage.
+func TestSuspendOverlappingInFlightTransmission(t *testing.T) {
+	l := mustLink(t, LinkConfig{BytesPerSlot: 100, LatencySlots: 1})
+	inFlight := l.Transmit(300, 0) // serializes [0,3), delivered 4
+	if inFlight.DeliveredSlot != 4 {
+		t.Fatalf("baseline delivery %v", inFlight.DeliveredSlot)
+	}
+	// Outage at slot 1 lasting 5 slots: the busy horizon extends to 6.
+	l.Suspend(6)
+	if d := l.QueueDelay(1); d != 5 {
+		t.Errorf("queue delay under outage = %v, want 5", d)
+	}
+	// The in-flight frame's bytes still finish serializing on their
+	// original schedule (its Transmission was already returned).
+	if got := l.BacklogBytes(2); got != 100 {
+		t.Errorf("backlog at 2 = %v, want 100 (one third of the frame left)", got)
+	}
+	queued := l.Transmit(100, 2)
+	if queued.StartSlot != 6 || queued.DeliveredSlot != 8 {
+		t.Errorf("queued frame start=%v delivered=%v, want 6/8", queued.StartSlot, queued.DeliveredSlot)
+	}
+	// Suspend never shortens the busy period.
+	l.Suspend(3)
+	if d := l.QueueDelay(2); d != 5 {
+		t.Errorf("late shorter suspend changed the horizon: %v", d)
+	}
+}
+
+func TestBacklogBytesCountsLostFramesWhileSerializing(t *testing.T) {
+	// LossProb=0.9 with a fixed seed: most frames drop, but their bytes
+	// still occupy the serializer, so backlog must count them.
+	l := mustLink(t, LinkConfig{BytesPerSlot: 10, LossProb: 0.9, Seed: 2})
+	sawDrop := false
+	for i := 0; i < 10; i++ {
+		if l.Transmit(100, 0).Dropped {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Fatal("seed produced no drops; pick another seed")
+	}
+	if got := l.BacklogBytes(0); got != 1000 {
+		t.Fatalf("backlog = %v, want 1000 (lost frames occupy the uplink)", got)
+	}
+}

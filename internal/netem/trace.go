@@ -1,0 +1,104 @@
+package netem
+
+// Bandwidth-trace file loaders: measured link-capacity schedules
+// recorded elsewhere (a drive test, an emulator log, a synthetic
+// generator) replayed through TraceBandwidth. Two formats are accepted:
+//
+//   - CSV: one "slot,bytes_per_slot" pair per line; blank lines, '#'
+//     comments, and a "slot,..." header row are skipped.
+//   - JSON: either a bare array of points
+//     [{"slot":0,"bytes_per_slot":1200}, ...] or an object
+//     {"period":600,"points":[...]} when the replay should wrap.
+//
+// Both loaders validate through NewTraceBandwidth, so malformed files
+// (empty, unsorted, negative rates) are rejected up front instead of
+// surfacing mid-run.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ReadTraceCSV parses a "slot,bytes_per_slot" CSV stream into a
+// validated trace. Lines that are blank, start with '#', or form a
+// non-numeric header are skipped.
+func ReadTraceCSV(r io.Reader) (*TraceBandwidth, error) {
+	var points []TracePoint
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		slotStr, rateStr, found := strings.Cut(text, ",")
+		if !found {
+			return nil, fmt.Errorf("%w: line %d: want \"slot,bytes_per_slot\", got %q", ErrBadTrace, line, text)
+		}
+		slot, err := strconv.Atoi(strings.TrimSpace(slotStr))
+		if err != nil {
+			if len(points) == 0 {
+				continue // header row before the first data line
+			}
+			return nil, fmt.Errorf("%w: line %d: bad slot %q", ErrBadTrace, line, slotStr)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad rate %q", ErrBadTrace, line, rateStr)
+		}
+		points = append(points, TracePoint{Slot: slot, BytesPerSlot: rate})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netem: read trace: %w", err)
+	}
+	return NewTraceBandwidth(points, 0)
+}
+
+// jsonTrace is the object form of a JSON trace file.
+type jsonTrace struct {
+	Period int          `json:"period"`
+	Points []TracePoint `json:"points"`
+}
+
+// ReadTraceJSON parses a JSON trace stream — a bare point array or a
+// {"period":N,"points":[...]} object — into a validated trace.
+func ReadTraceJSON(r io.Reader) (*TraceBandwidth, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("netem: read trace: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var points []TracePoint
+		if err := json.Unmarshal(data, &points); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		return NewTraceBandwidth(points, 0)
+	}
+	var obj jsonTrace
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return NewTraceBandwidth(obj.Points, obj.Period)
+}
+
+// LoadTraceFile reads a bandwidth trace from path, dispatching on the
+// extension: .json loads the JSON form, anything else the CSV form.
+func LoadTraceFile(path string) (*TraceBandwidth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netem: open trace: %w", err)
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		return ReadTraceJSON(f)
+	}
+	return ReadTraceCSV(f)
+}

@@ -22,6 +22,7 @@ type sessionConfig struct {
 	allocator  Allocator
 	offload    *OffloadParams
 	link       *LinkConfig
+	dynamics   *LinkDynamics
 	observers  []func(SlotEvent)
 	seed       uint64
 	seedSet    bool
@@ -107,6 +108,22 @@ func WithOffload(p OffloadParams) Option {
 // NewSession. Only valid together with WithOffload.
 func WithLink(l LinkConfig) Option {
 	return func(c *sessionConfig) { c.link = &l }
+}
+
+// WithLinkDynamics makes the offload session's uplink time-varying: the
+// dynamics' BandwidthProcess (Markov-modulated good/bad capacity, a
+// piecewise bandwidth trace loaded from CSV/JSON, mobility handoffs
+// with outage gaps, or any custom process) retunes the link at the top
+// of every slot, and the controller observes the transmit queue through
+// the link's exact byte accounting. The static sizing (Bandwidth,
+// BandwidthFraction, or WithLink's BytesPerSlot) still anchors V
+// calibration; the process modulates the live link from there. Dynamics
+// RNGs are reseeded from the session seed (or LinkDynamics.Seed when
+// nonzero) at the start of every run, so WithSeed keeps reports
+// byte-identical. Only valid together with WithOffload, and mutually
+// exclusive with OffloadParams.BandwidthDrop.
+func WithLinkDynamics(d *LinkDynamics) Option {
+	return func(c *sessionConfig) { c.dynamics = d }
 }
 
 // WithSeed makes the session's stochastic components deterministic from

@@ -435,12 +435,79 @@ type (
 	LinkConfig = netem.LinkConfig
 	// TokenBucket polices admission at a sustained rate.
 	TokenBucket = netem.TokenBucket
+	// BandwidthProcess yields a link's serialization capacity per slot —
+	// the time-varying generalization of LinkConfig.BytesPerSlot. Every
+	// implementation in the library doubles as a ServiceProcess, so the
+	// same processes drive WithService and fleet Profile.NewService.
+	BandwidthProcess = netem.BandwidthProcess
+	// LinkDynamics binds a BandwidthProcess to an offload uplink (see
+	// WithLinkDynamics).
+	LinkDynamics = netem.LinkDynamics
+	// ConstantBandwidth is the degenerate fixed-rate process.
+	ConstantBandwidth = netem.ConstantBandwidth
+	// MarkovBandwidth is a two-state (good/bad) Markov-modulated
+	// capacity process — the Gilbert–Elliott shape of a fading channel.
+	MarkovBandwidth = netem.MarkovBandwidth
+	// TraceBandwidth replays a piecewise-constant recorded capacity
+	// trace, optionally wrapping every Period slots.
+	TraceBandwidth = netem.TraceBandwidth
+	// TracePoint is one step of a bandwidth trace.
+	TracePoint = netem.TracePoint
+	// HandoffBandwidth models mobility: exponential cell dwells, an
+	// outage gap per handoff, and a uniform new-cell capacity scale.
+	HandoffBandwidth = netem.HandoffBandwidth
+	// NetworkSweepRow is one volatility point of the dynamic-network
+	// ablation.
+	NetworkSweepRow = experiments.NetworkSweepRow
 	// Table is an exportable set of time series (CSV/JSON/ASCII chart).
 	Table = trace.Table
 )
 
 // NewLink builds a network link emulator.
 func NewLink(cfg LinkConfig) (*Link, error) { return netem.NewLink(cfg) }
+
+// NewTraceBandwidth validates trace points (and an optional wrap
+// period) into a replayable piecewise bandwidth process.
+func NewTraceBandwidth(points []TracePoint, period int) (*TraceBandwidth, error) {
+	return netem.NewTraceBandwidth(points, period)
+}
+
+// LoadBandwidthTrace reads a bandwidth trace file, dispatching on the
+// extension: .json loads the {"period":N,"points":[...]} (or bare
+// array) form, anything else the "slot,bytes_per_slot" CSV form.
+func LoadBandwidthTrace(path string) (*TraceBandwidth, error) {
+	return netem.LoadTraceFile(path)
+}
+
+// DefaultMarkovFactor returns the default Gilbert–Elliott fading factor
+// chain (×1 good / ×0.3 bad, mean dwells 20 and 4 slots) — a unitless
+// multiplier process for ModulatedService composition, shared by the
+// CLIs' -net markov class. A nil rng pins the chain to its start state.
+func DefaultMarkovFactor(rng *RNG) *MarkovBandwidth { return netem.DefaultMarkovFactor(rng) }
+
+// DefaultHandoffFactor returns the default mobility factor process
+// (mean 250-slot cell dwells, 4-slot outages, new-cell scale in
+// [0.7, 1.2]) — the CLIs' -net handoff class. A nil rng never hands off.
+func DefaultHandoffFactor(rng *RNG) *HandoffBandwidth { return netem.DefaultHandoffFactor(rng) }
+
+// DefaultDiurnalTrace returns the built-in 240-slot daily-load factor
+// trace (dips to ×0.6 mid-cycle) — the CLIs' file-less -net trace class.
+func DefaultDiurnalTrace() *TraceBandwidth { return netem.DefaultDiurnalTrace() }
+
+// LoadFactorTrace loads a -net style factor trace: an empty path
+// returns DefaultDiurnalTrace, anything else loads the file
+// (LoadBandwidthTrace) normalized to its peak, so measured bytes/slot
+// captures and hand-written factor patterns both modulate sensibly.
+func LoadFactorTrace(path string) (*TraceBandwidth, error) { return netem.LoadFactorTrace(path) }
+
+// NetworkSweep runs the dynamic-network ablation: a fleet per
+// volatility point, every session drawing its capacity from a
+// mean-preserving Markov (good/bad) chain around the calibrated service
+// rate. Mean utility degrades and tail backlog grows monotonically as
+// volatility rises. Zero sessions/slots take defaults.
+func NetworkSweep(s *Scenario, volatilities []float64, sessions, slots int, seed uint64) ([]NetworkSweepRow, error) {
+	return experiments.NetworkSweep(s, volatilities, sessions, slots, seed)
+}
 
 // SharedUplink runs N devices against one emulated uplink, its
 // serialization bandwidth split per slot by params.Allocator and its

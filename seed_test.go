@@ -142,3 +142,86 @@ func mustUtil(t *testing.T) UtilityModel {
 	_, util := cheapModels(t)
 	return util
 }
+
+// TestWithSeedMarkovService: the netem bandwidth processes double as
+// service processes, and WithSeed reaches them through the same Reseed
+// hook as the other stochastic components — a sim session on a
+// Markov-modulated device capacity is deterministic per seed.
+func TestWithSeedMarkovService(t *testing.T) {
+	run := func(seed uint64) []byte {
+		cost, util := cheapModels(t)
+		p, err := NewThresholdPolicy([]int{2, 3, 4, 5}, 3000, 9000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(
+			WithPolicy(p),
+			WithArrivals(&DeterministicArrivals{PerSlot: 1}),
+			WithCost(cost),
+			WithUtility(util),
+			WithService(&MarkovBandwidth{
+				GoodRate: 5000, BadRate: 1500,
+				PGoodBad: 0.08, PBadGood: 0.2,
+			}),
+			WithSlots(400),
+			WithSeed(seed),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := run(21), run(21)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different markov-service reports")
+	}
+	if c := run(22); string(c) == string(a) {
+		t.Fatal("different seed produced an identical markov-service report")
+	}
+}
+
+// Regression (review finding): Run twice on the same markov-service
+// session must not freeze the chain — a t regression resets the
+// process state while the RNG stream continues, so the second run is
+// still Markov-modulated (both capacity levels appear).
+func TestMarkovServiceSurvivesSessionReRun(t *testing.T) {
+	cost, util := cheapModels(t)
+	p, err := NewThresholdPolicy([]int{2, 3, 4, 5}, 3000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &MarkovBandwidth{GoodRate: 5000, BadRate: 1500, PGoodBad: 0.2, PBadGood: 0.2}
+	s, err := NewSession(
+		WithPolicy(p),
+		WithArrivals(&DeterministicArrivals{PerSlot: 1}),
+		WithCost(cost), WithUtility(util),
+		WithService(mb),
+		WithSlots(300),
+		WithSeed(33),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// After the second run the chain must have visited both states.
+	levels := map[float64]bool{}
+	for slot := 0; slot < 300; slot++ {
+		levels[mb.Bandwidth(slot)] = true // third restart; still mixing
+	}
+	if len(levels) != 2 {
+		t.Fatalf("markov service froze after re-Run: levels %v", levels)
+	}
+}

@@ -44,6 +44,11 @@ var (
 	ErrOptionConflict = errors.New("qarv: conflicting session options")
 	// ErrLinkWithoutOffload reports WithLink on a non-offload session.
 	ErrLinkWithoutOffload = errors.New("qarv: WithLink requires WithOffload")
+	// ErrDynamicsWithoutOffload reports WithLinkDynamics on a non-offload
+	// session. Sim, multi, and fleet runs express network dynamics
+	// through their service processes instead — every BandwidthProcess
+	// doubles as a ServiceProcess (see WithService and Profile.NewService).
+	ErrDynamicsWithoutOffload = errors.New("qarv: WithLinkDynamics requires WithOffload")
 	// ErrAllocatorWithoutDevices reports WithAllocator on a session that
 	// has no shared budget to split.
 	ErrAllocatorWithoutDevices = errors.New("qarv: WithAllocator requires WithDevices")
@@ -132,6 +137,9 @@ func NewSession(opts ...Option) (*Session, error) {
 			// OffloadParams' scalar fields would re-default it.
 			p.Link = c.link
 		}
+		if c.dynamics != nil {
+			p.Dynamics = c.dynamics
+		}
 		p.Observer = chainObservers(p.Observer, obs)
 		if c.seedSet {
 			// One seed drives capture and link alike; WithLink's own
@@ -149,6 +157,9 @@ func NewSession(opts ...Option) (*Session, error) {
 		}
 		if c.link != nil {
 			return nil, ErrLinkWithoutOffload
+		}
+		if c.dynamics != nil {
+			return nil, ErrDynamicsWithoutOffload
 		}
 		cfg := sim.MultiConfig{
 			Devices:   c.devices,
@@ -182,6 +193,9 @@ func NewSession(opts ...Option) (*Session, error) {
 	default:
 		if c.link != nil {
 			return nil, ErrLinkWithoutOffload
+		}
+		if c.dynamics != nil {
+			return nil, ErrDynamicsWithoutOffload
 		}
 		if c.allocator != nil {
 			return nil, ErrAllocatorWithoutDevices

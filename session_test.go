@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -66,6 +67,12 @@ func TestSessionOptionValidation(t *testing.T) {
 		{"no devices no policy", nil, sim.ErrNilPolicy},
 		{"allocator without devices", append(cheapSessionOpts(t, 10), WithAllocator(EqualSplit{})), ErrAllocatorWithoutDevices},
 		{"allocator with offload", []Option{WithOffload(OffloadParams{}), WithAllocator(NewMaxWeight())}, ErrAllocatorWithoutDevices},
+		{"dynamics without offload", append(cheapSessionOpts(t, 10), WithLinkDynamics(&LinkDynamics{Process: &ConstantBandwidth{Rate: 1}})), ErrDynamicsWithoutOffload},
+		{"dynamics with devices", []Option{
+			WithDevices(Device{Policy: fixed, Cost: cost, Utility: util, Arrivals: arr}),
+			WithService(svc), WithSlots(10),
+			WithLinkDynamics(&LinkDynamics{Process: &ConstantBandwidth{Rate: 1}}),
+		}, ErrDynamicsWithoutOffload},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +95,19 @@ func TestSessionOptionValidation(t *testing.T) {
 	}
 	if _, err := NewSession(WithOffload(OffloadParams{}), WithLink(LinkConfig{LatencySlots: -1})); err == nil {
 		t.Error("negative latency accepted at construction")
+	}
+	// Malformed dynamics are rejected at construction too.
+	if _, err := NewSession(WithOffload(OffloadParams{}), WithLinkDynamics(&LinkDynamics{})); err == nil {
+		t.Error("dynamics without a process accepted at construction")
+	}
+	if _, err := NewSession(WithOffload(OffloadParams{}),
+		WithLinkDynamics(&LinkDynamics{Process: &MarkovBandwidth{GoodRate: -1}})); err == nil {
+		t.Error("invalid markov dynamics accepted at construction")
+	}
+	if _, err := NewSession(
+		WithOffload(OffloadParams{DropStart: 10, DropEnd: 20, DropFactor: 0.5}),
+		WithLinkDynamics(&LinkDynamics{Process: &ConstantBandwidth{Rate: 1}})); err == nil {
+		t.Error("BandwidthDrop combined with dynamics accepted at construction")
 	}
 }
 
@@ -526,5 +546,109 @@ func TestSessionOffloadWithLink(t *testing.T) {
 	}
 	if a.LossCount == b.LossCount && reflect.DeepEqual(a.Latency, b.Latency) {
 		t.Error("different link seeds produced identical traces")
+	}
+}
+
+func TestSessionOffloadWithDynamics(t *testing.T) {
+	base := OffloadParams{
+		Samples: 8000, CaptureDepth: 8, Depths: []int{4, 5, 6, 7, 8},
+		KneeSlot: 50, Slots: 400, Seed: 3,
+	}
+	run := func(seed uint64) *OffloadResult {
+		s, err := NewSession(
+			WithOffload(base),
+			WithLink(LinkConfig{BytesPerSlot: 20_000, LatencySlots: 1}),
+			WithLinkDynamics(&LinkDynamics{Process: &MarkovBandwidth{
+				GoodRate: 26_000, BadRate: 10_000,
+				PGoodBad: 0.1, PBadGood: 0.2,
+			}}),
+			WithSeed(seed),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Kind != KindOffload || rep.Offload == nil {
+			t.Fatalf("report = %+v", rep)
+		}
+		return rep.Offload
+	}
+	a, b, c := run(7), run(7), run(8)
+	if a.Network != "markov-bw" {
+		t.Errorf("network = %q", a.Network)
+	}
+	// WithSeed keeps the whole report byte-identical, dynamics included.
+	if !reflect.DeepEqual(a.BacklogBytes, b.BacklogBytes) || !reflect.DeepEqual(a.Latency, b.Latency) ||
+		a.LossCount != b.LossCount || a.MeanDepth != b.MeanDepth {
+		t.Error("same seed produced different dynamic-offload reports")
+	}
+	// A different seed drives a different capacity path.
+	if reflect.DeepEqual(a.BacklogBytes, c.BacklogBytes) {
+		t.Error("different seeds produced identical capacity paths")
+	}
+	// LinkDynamics.Seed decouples the dynamics stream from the capture
+	// seed: same session seed, different dynamics seed, different path.
+	s, err := NewSession(
+		WithOffload(base),
+		WithLink(LinkConfig{BytesPerSlot: 20_000, LatencySlots: 1}),
+		WithLinkDynamics(&LinkDynamics{
+			Process: &MarkovBandwidth{GoodRate: 26_000, BadRate: 10_000, PGoodBad: 0.1, PBadGood: 0.2},
+			Seed:    999,
+		}),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(rep.Offload.BacklogBytes, a.BacklogBytes) {
+		t.Error("LinkDynamics.Seed did not decouple the dynamics stream")
+	}
+}
+
+// Regression (review finding): offload runs clone the configured
+// dynamics before reseeding, so one Session can Run concurrently —
+// previously all offload state was rebuilt per run and Dynamics was
+// the first cross-run mutable exception.
+func TestSessionOffloadDynamicsConcurrentRuns(t *testing.T) {
+	s, err := NewSession(
+		WithOffload(OffloadParams{
+			Samples: 8000, CaptureDepth: 8, Depths: []int{4, 5, 6, 7, 8},
+			KneeSlot: 50, Slots: 200, Seed: 3,
+		}),
+		WithLink(LinkConfig{BytesPerSlot: 20_000, LatencySlots: 1}),
+		WithLinkDynamics(&LinkDynamics{Process: &MarkovBandwidth{
+			GoodRate: 26_000, BadRate: 10_000, PGoodBad: 0.1, PBadGood: 0.2,
+		}}),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	results := make([]*Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].Offload.BacklogBytes, results[0].Offload.BacklogBytes) {
+			t.Fatalf("concurrent run %d diverged from run 0", i)
+		}
 	}
 }
