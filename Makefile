@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet doccheck bench bench-fleet examples clean
+.PHONY: all build test race vet doccheck bench bench-fleet sweep-smoke examples clean
 
 all: vet doccheck build test
 
@@ -32,6 +32,13 @@ bench: bench-fleet
 bench-fleet:
 	$(GO) run ./cmd/qarvfleet -n 20000 -slots 500 -churn 0.001 -json > BENCH_fleet.json
 
+# sweep-smoke drives a tiny 2×2 grid end to end through cmd/qarvsweep
+# (fleet backend, JSON report) — the sweep engine's CLI smoke test.
+sweep-smoke:
+	$(GO) run ./cmd/qarvsweep -samples 60000 -slots 200 -seed 1 \
+		-axis v=0.5,2 -axis net=static,markov:0.5 \
+		-backend fleet -sessions 8 -json > /dev/null
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/vsweep
@@ -41,6 +48,7 @@ examples:
 	$(GO) run ./examples/allocators
 	$(GO) run ./examples/fleet
 	$(GO) run ./examples/networks
+	$(GO) run ./examples/sweep
 
 clean:
 	$(GO) clean ./...

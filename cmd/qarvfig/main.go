@@ -6,8 +6,11 @@
 //
 // Usage:
 //
-//	qarvfig [-fig 1|2a|2b|ablations|all] [-out results] [-samples N]
-//	        [-slots T] [-seed S] [-quiet]
+//	qarvfig [-fig 1|2a|2b|ablations|grid|offload|all] [-out results]
+//	        [-samples N] [-slots T] [-seed S] [-quiet]
+//
+// The grid figure runs a V × network-volatility cross product through
+// the declarative sweep engine (see cmd/qarvsweep for arbitrary grids).
 package main
 
 import (
@@ -55,7 +58,7 @@ func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("qarvfig", flag.ContinueOnError)
 	var o options
 	var seed int64
-	fs.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2a, 2b, ablations, all")
+	fs.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2a, 2b, ablations, grid, offload, all")
 	fs.StringVar(&o.outDir, "out", "results", "output directory for CSV/JSON")
 	fs.IntVar(&o.samples, "samples", 400_000, "surface samples for the synthetic capture")
 	fs.IntVar(&o.slots, "slots", 800, "simulation horizon (time steps)")
@@ -80,16 +83,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	doFig1 := o.fig == "1" || o.fig == "all"
 	doFig2 := o.fig == "2a" || o.fig == "2b" || o.fig == "all"
 	doAbl := o.fig == "ablations" || o.fig == "all"
+	doGrid := o.fig == "grid" || o.fig == "all"
 	doOffload := o.fig == "offload" || o.fig == "all"
-	if !doFig1 && !doFig2 && !doAbl && !doOffload {
-		return fmt.Errorf("unknown -fig %q (want 1, 2a, 2b, ablations, offload, all)", o.fig)
+	if !doFig1 && !doFig2 && !doAbl && !doGrid && !doOffload {
+		return fmt.Errorf("unknown -fig %q (want 1, 2a, 2b, ablations, grid, offload, all)", o.fig)
 	}
 	if doFig1 {
 		if err := runFig1(ctx, o, out); err != nil {
 			return fmt.Errorf("fig 1: %w", err)
 		}
 	}
-	if doFig2 || doAbl {
+	if doFig2 || doAbl || doGrid {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -112,6 +116,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("ablations: %w", err)
 			}
 		}
+		if doGrid {
+			if err := runGrid(ctx, o, scn, out); err != nil {
+				return fmt.Errorf("grid: %w", err)
+			}
+		}
 	}
 	if doOffload {
 		if err := ctx.Err(); err != nil {
@@ -121,6 +130,42 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("offload: %w", err)
 		}
 	}
+	return nil
+}
+
+// runGrid is the cross-product study the bespoke per-ablation loops
+// could not express: V × network volatility, each cell a fleet, run
+// through the sweep engine in one declarative call.
+func runGrid(ctx context.Context, o options, scn *qarv.Scenario, out io.Writer) error {
+	sw, err := qarv.NewSweep(scn,
+		qarv.AxisV(0.5, 1, 2),
+		qarv.AxisNetwork(qarv.NetworkStatic(), qarv.NetworkMarkov(0.3), qarv.NetworkMarkov(0.6)),
+	)
+	if err != nil {
+		return err
+	}
+	sw.Backend = qarv.BackendFleet(64)
+	sw.Slots = 2 * o.slots
+	sw.Seed = o.seed
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		return err
+	}
+	tab, err := rep.Table()
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(tab, filepath.Join(o.outDir, "grid.csv")); err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintln(out, "\nGRID — V × network volatility (64-session fleet per cell)")
+		headers, cells := rep.TextTable()
+		if err := trace.RenderTextTable(out, headers, cells); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "wrote %s\n", filepath.Join(o.outDir, "grid.csv"))
 	return nil
 }
 
@@ -180,8 +225,7 @@ func runFig1(ctx context.Context, o options, out io.Writer) error {
 	}
 	headers := []string{"octree depth", "points", "point ratio", "geom PSNR (dB)", "Hausdorff (m)", "color PSNR (dB)"}
 	cells := make([][]string, len(rows))
-	tab := trace.NewTable("depth", len(rows))
-	tab.X = tab.X[:0]
+	depths := make([]float64, 0, len(rows))
 	points := trace.Series{Name: "points"}
 	psnr := trace.Series{Name: "psnr_dB"}
 	for i, r := range rows {
@@ -193,10 +237,11 @@ func runFig1(ctx context.Context, o options, out io.Writer) error {
 			fmt.Sprintf("%.5f", r.Hausdorff),
 			fmt.Sprintf("%.2f", r.ColorPSNR),
 		}
-		tab.X = append(tab.X, float64(r.Depth))
+		depths = append(depths, float64(r.Depth))
 		points.Values = append(points.Values, float64(r.Points))
 		psnr.Values = append(psnr.Values, r.PSNR)
 	}
+	tab := trace.NewTableWithX("depth", depths)
 	if err := tab.Add(points); err != nil {
 		return err
 	}

@@ -99,3 +99,25 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("bad flag must error")
 	}
 }
+
+func TestRunGridFigure(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-fig", "grid", "-samples", "30000", "-slots", "120",
+		"-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "grid.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 V factors × 3 network shapes = 9 cells plus the header.
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("grid.csv lines = %d", len(lines))
+	}
+	if !strings.Contains(out.String(), "GRID — V × network volatility") {
+		t.Errorf("missing grid table on stdout: %q", out.String())
+	}
+}

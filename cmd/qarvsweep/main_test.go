@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunGridJSON: a 2×2 grid on the fleet backend emits a well-formed
+// JSON report with one row per cell, plus a CSV table.
+func TestRunGridJSON(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "sweep.csv")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-samples", "30000", "-slots", "120", "-seed", "3",
+		"-axis", "v=0.5,2", "-axis", "net=static,markov:0.5",
+		"-backend", "fleet", "-sessions", "6",
+		"-csv", csv, "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Axes    []string `json:"axes"`
+		Backend string   `json:"backend"`
+		Rows    []struct {
+			Cell   int `json:"cell"`
+			Coords []struct {
+				Axis  string `json:"axis"`
+				Label string `json:"label"`
+			} `json:"coords"`
+			Sessions int64 `json:"sessions"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Axes) != 2 || rep.Axes[0] != "v" || rep.Axes[1] != "net" {
+		t.Errorf("axes = %v", rep.Axes)
+	}
+	if rep.Backend != "fleet" || len(rep.Rows) != 4 {
+		t.Fatalf("backend %q rows %d", rep.Backend, len(rep.Rows))
+	}
+	for i, row := range rep.Rows {
+		if row.Cell != i || len(row.Coords) != 2 || row.Sessions != 6 {
+			t.Errorf("row %d = %+v", i, row)
+		}
+	}
+	raw, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "cell,") {
+		t.Errorf("csv header = %q", strings.SplitN(string(raw), "\n", 2)[0])
+	}
+}
+
+// TestRunTextTable: the default output is an aligned text table headed
+// by the axis names.
+func TestRunTextTable(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-samples", "30000", "-slots", "120",
+		"-axis", "policy=proposed,min",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "policy") || !strings.Contains(out.String(), "verdict") {
+		t.Errorf("output missing table: %q", out.String())
+	}
+}
+
+// TestRunRejectsBadInput: missing axes, malformed specs, unknown kinds
+// and backends all fail with a clear error.
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-axis", "v"},
+		{"-axis", "nosuch=1,2"},
+		{"-axis", "v=a,b"},
+		{"-axis", "net=warp"},
+		{"-axis", "v=1", "-backend", "nosuch"},
+		{"-axis", "v=1", "-json", "-chart"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Sweep: the whole ablation story in one declarative call. Instead of a
+// hand-written nested loop per study, qarv.NewSweep crosses typed axes
+// — here the Lyapunov knob V against network volatility — into a grid
+// of cells, runs every cell concurrently (each one a fleet of sessions
+// on the fleet backend), and returns one unified report whose rows are
+// byte-identical at any worker count thanks to per-cell seed
+// derivation. The same grid is reachable from the command line:
+//
+//	qarvsweep -axis v=0.5,1,2 -axis net=static,markov:0.3,markov:0.6 \
+//	          -backend fleet -sessions 64
+//
+// Run: go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"qarv"
+	"qarv/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scn, err := qarv.NewScenario(qarv.ScenarioParams{
+		Samples: 60_000,
+		Slots:   800,
+		Seed:    1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Two axes, six cells: every V factor crossed with every network
+	// shape. The network axis modulates each session's capacity around
+	// the calibrated rate — NetworkMarkov(v) is the mean-preserving
+	// Gilbert–Elliott spread of the ABL-NET ablation.
+	sw, err := qarv.NewSweep(scn,
+		qarv.AxisV(0.5, 1, 2),
+		qarv.AxisNetwork(qarv.NetworkStatic(), qarv.NetworkMarkov(0.6)),
+	)
+	if err != nil {
+		return err
+	}
+	sw.Backend = qarv.BackendFleet(32) // 32 sessions per cell
+	// The knee scales with V: give the largest factor room to settle so
+	// still-ramping trajectories aren't misread as diverging.
+	sw.Slots = 3200
+	sw.Seed = 1
+
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d cells over %s × %s (backend %s)\n\n",
+		len(rep.Rows), rep.Axes[0], rep.Axes[1], rep.Backend)
+	headers, cells := rep.TextTable()
+	if err := trace.RenderTextTable(os.Stdout, headers, cells); err != nil {
+		return err
+	}
+
+	fmt.Println("\nReading the grid:")
+	fmt.Println("  * down a column: utility climbs with V (the O(1/V) gap closing),")
+	fmt.Println("  * across a row: volatility costs utility and fattens backlog tails")
+	fmt.Println("    at every V — the two effects compose, which is exactly what a")
+	fmt.Println("    cross-product study shows that two separate sweeps cannot.")
+	return nil
+}

@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 
-	"qarv/internal/core"
 	"qarv/internal/delay"
 	"qarv/internal/geom"
 	"qarv/internal/policy"
@@ -36,8 +34,9 @@ func VSweep(s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
 	return VSweepContext(context.Background(), s, factors, slots)
 }
 
-// VSweepContext is VSweep under a cancelable context, checked per point
-// and inside each run's slot loop.
+// VSweepContext is VSweep under a cancelable context, honored inside
+// each cell's slot loop. It is a thin wrapper over the sweep engine: a
+// one-axis AxisV grid on the pool backend.
 func VSweepContext(ctx context.Context, s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
 	if len(factors) == 0 {
 		factors = []float64{0.01, 0.1, 0.5, 1, 2, 10}
@@ -56,33 +55,31 @@ func VSweepContext(ctx context.Context, s *Scenario, factors []float64, slots in
 			slots = scaled
 		}
 	}
+	sw, err := NewSweep(s, AxisV(factors...))
+	if err != nil {
+		return nil, err
+	}
+	sw.Slots = slots
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]VSweepRow, 0, len(factors))
-	for _, f := range factors {
+	for i, f := range factors {
+		r := rep.Rows[i]
 		v := s.V * f
-		ctrl, err := s.ControllerWithV(v)
-		if err != nil {
-			return nil, fmt.Errorf("V=%v: %w", v, err)
-		}
-		cfg := s.SimConfig(ctrl)
-		cfg.Slots = slots
-		res, err := sim.RunContext(ctx, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("V=%v: %w", v, err)
-		}
-		verdict, err := res.Verdict()
-		if err != nil {
-			return nil, err
-		}
 		row := VSweepRow{
 			V:              v,
-			TimeAvgUtility: res.TimeAvgUtility,
-			TimeAvgBacklog: res.TimeAvgBacklog,
-			MaxBacklog:     res.MaxBacklog,
-			Verdict:        verdict.String(),
+			TimeAvgUtility: r.Utility,
+			TimeAvgBacklog: r.Backlog,
+			MaxBacklog:     r.MaxBacklog,
+			Verdict:        r.Verdict,
 		}
-		if b, err := ctrl.TheoreticalBounds(s.ServiceRate); err == nil {
-			row.BoundUtilityGap = b.UtilityGap
-			row.BoundBacklog = b.BacklogBound
+		if ctrl, err := s.ControllerWithV(v); err == nil {
+			if b, err := ctrl.TheoreticalBounds(s.ServiceRate); err == nil {
+				row.BoundUtilityGap = b.UtilityGap
+				row.BoundBacklog = b.BacklogBound
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -110,7 +107,8 @@ func RateSweep(s *Scenario, fractions []float64, slots int) ([]RateSweepRow, err
 	return RateSweepContext(context.Background(), s, fractions, slots)
 }
 
-// RateSweepContext is RateSweep under a cancelable context.
+// RateSweepContext is RateSweep under a cancelable context — a one-axis
+// AxisServiceRate grid on the sweep engine's pool backend.
 func RateSweepContext(ctx context.Context, s *Scenario, fractions []float64, slots int) ([]RateSweepRow, error) {
 	if len(fractions) == 0 {
 		fractions = []float64{0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4}
@@ -118,33 +116,24 @@ func RateSweepContext(ctx context.Context, s *Scenario, fractions []float64, slo
 	if slots <= 0 {
 		slots = 2 * s.Params.Slots
 	}
-	ctrl, err := s.Controller()
+	sw, err := NewSweep(s, AxisServiceRate(fractions...))
+	if err != nil {
+		return nil, err
+	}
+	sw.Slots = slots
+	rep, err := sw.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]RateSweepRow, 0, len(fractions))
-	for _, f := range fractions {
-		cfg := s.SimConfig(ctrl)
-		cfg.Service = &delay.ConstantService{Rate: s.ServiceRate * f}
-		cfg.Slots = slots
-		res, err := sim.RunContext(ctx, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fraction %v: %w", f, err)
-		}
-		verdict, err := res.Verdict()
-		if err != nil {
-			return nil, err
-		}
-		var depthSum float64
-		for _, d := range res.Depth {
-			depthSum += float64(d)
-		}
+	for i, f := range fractions {
+		r := rep.Rows[i]
 		rows = append(rows, RateSweepRow{
 			RateFraction:   f,
-			TimeAvgUtility: res.TimeAvgUtility,
-			TimeAvgBacklog: res.TimeAvgBacklog,
-			Verdict:        verdict.String(),
-			MeanDepth:      depthSum / float64(len(res.Depth)),
+			TimeAvgUtility: r.Utility,
+			TimeAvgBacklog: r.Backlog,
+			Verdict:        r.Verdict,
+			MeanDepth:      r.MeanDepth,
 		})
 	}
 	return rows, nil
@@ -170,7 +159,9 @@ func UtilitySweep(s *Scenario, slots int) ([]UtilitySweepRow, error) {
 	return UtilitySweepContext(context.Background(), s, slots)
 }
 
-// UtilitySweepContext is UtilitySweep under a cancelable context.
+// UtilitySweepContext is UtilitySweep under a cancelable context — a
+// one-axis utility-model grid on the sweep engine, each cell
+// recalibrating V for its model so knees stay comparable.
 func UtilitySweepContext(ctx context.Context, s *Scenario, slots int) ([]UtilitySweepRow, error) {
 	if slots <= 0 {
 		slots = s.Params.Slots
@@ -184,50 +175,36 @@ func UtilitySweepContext(ctx context.Context, s *Scenario, slots int) ([]Utility
 	}
 	models = append(models, &quality.LinearDepthUtility{MaxDepth: s.Params.CaptureDepth})
 
+	points := make([]AxisPoint, len(models))
+	for i, m := range models {
+		m := m
+		points[i] = AxisPoint{
+			Label: m.Name(),
+			Apply: func(c *SweepCell) error {
+				c.Utility = m
+				c.RecalibrateV = true
+				return nil
+			},
+		}
+	}
+	sw, err := NewSweep(s, SweepAxis{Name: "utility", Points: points})
+	if err != nil {
+		return nil, err
+	}
+	sw.Slots = slots
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]UtilitySweepRow, 0, len(models))
-	for _, m := range models {
-		cfg := core.Config{Depths: s.Params.Depths, Utility: m, Cost: s.Cost}
-		v, err := core.CalibrateV(s.Params.KneeSlot, s.ServiceRate, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
-		}
-		cfg.V = v
-		ctrl, err := core.New(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
-		}
-		simCfg := s.SimConfig(ctrl)
-		simCfg.Utility = m
-		simCfg.Slots = slots
-		res, err := sim.RunContext(ctx, simCfg)
-		if err != nil {
-			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
-		}
-		verdict, err := res.Verdict()
-		if err != nil {
-			return nil, err
-		}
-		var depthSum float64
-		dMax := 0
-		for _, d := range res.Depth {
-			depthSum += float64(d)
-			if d > dMax {
-				dMax = d
-			}
-		}
-		knee := -1
-		for t, d := range res.Depth {
-			if d < dMax {
-				knee = t
-				break
-			}
-		}
+	for i, m := range models {
+		r := rep.Rows[i]
 		rows = append(rows, UtilitySweepRow{
 			Model:          m.Name(),
-			TimeAvgBacklog: res.TimeAvgBacklog,
-			Verdict:        verdict.String(),
-			MeanDepth:      depthSum / float64(len(res.Depth)),
-			KneeSlot:       knee,
+			TimeAvgBacklog: r.Backlog,
+			Verdict:        r.Verdict,
+			MeanDepth:      r.MeanDepth,
+			KneeSlot:       r.KneeSlot,
 		})
 	}
 	return rows, nil

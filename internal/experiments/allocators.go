@@ -80,6 +80,10 @@ func AllocatorSweep(s *Scenario, specs []AllocDeviceSpec, budget float64, slots 
 }
 
 // AllocatorSweepContext is AllocatorSweep under a cancelable context.
+// It is a thin wrapper over the sweep engine: a one-axis allocator grid
+// of shared-budget multi-device cells on the pool backend (the
+// heterogeneous fleet and budget installed by a Configure hook), each
+// row rebuilt from the cell's full MultiResult.
 func AllocatorSweepContext(ctx context.Context, s *Scenario, specs []AllocDeviceSpec, budget float64, slots int, allocators []alloc.Allocator) ([]AllocatorSweepRow, error) {
 	if len(specs) == 0 {
 		specs = HeterogeneousSpecs(8)
@@ -106,21 +110,41 @@ func AllocatorSweepContext(ctx context.Context, s *Scenario, specs []AllocDevice
 	if budget <= 0 {
 		budget = 1.25 * FleetMinDemand(s, specs)
 	}
+	// Each allocator instance belongs to exactly one cell of this
+	// one-axis grid, so handing the caller's (possibly stateful)
+	// instances straight to their cells is race-free.
+	points := make([]AxisPoint, len(allocators))
+	for i, a := range allocators {
+		a := a
+		points[i] = AxisPoint{
+			Label: a.Name(),
+			Apply: func(c *SweepCell) error {
+				c.NewAllocator = func() (alloc.Allocator, error) { return a, nil }
+				return nil
+			},
+		}
+	}
+	sw, err := NewSweep(s, SweepAxis{Name: "allocator", Points: points})
+	if err != nil {
+		return nil, err
+	}
+	sw.Slots = slots
+	sw.Configure(func(c *SweepCell) error {
+		c.Devices = specs
+		c.Budget = budget
+		return nil
+	})
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]AllocatorSweepRow, 0, len(allocators))
-	for _, a := range allocators {
-		devices, err := fleetDevices(s, specs)
-		if err != nil {
-			return nil, err
+	for i := range allocators {
+		r := rep.Rows[i]
+		if r.Detail == nil || r.Detail.Multi == nil {
+			return nil, fmt.Errorf("experiments: allocator cell %d returned no multi result", i)
 		}
-		res, err := sim.RunMultiContext(ctx, sim.MultiConfig{
-			Devices:   devices,
-			Service:   &delay.ConstantService{Rate: budget},
-			Allocator: a,
-			Slots:     slots,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("allocator %s: %w", a.Name(), err)
-		}
+		res := r.Detail.Multi
 		row := AllocatorSweepRow{
 			Allocator:           res.Allocator,
 			PerDevice:           make([]MultiDeviceRow, len(res.PerDevice)),

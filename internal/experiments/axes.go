@@ -1,0 +1,303 @@
+package experiments
+
+// Typed axes for the sweep engine: each constructor turns a value list
+// into a SweepAxis whose points mutate one knob of the cell. Axis is the
+// generic escape hatch for knobs without a dedicated constructor.
+
+import (
+	"fmt"
+
+	"qarv/internal/alloc"
+	"qarv/internal/delay"
+	"qarv/internal/geom"
+	"qarv/internal/netem"
+	"qarv/internal/policy"
+)
+
+// Axis is the generic escape hatch: a named numeric axis whose apply
+// function receives the cell and the point's value.
+func Axis(name string, apply func(c *SweepCell, v float64) error, values ...float64) SweepAxis {
+	pts := make([]AxisPoint, len(values))
+	for i, v := range values {
+		v := v
+		pts[i] = AxisPoint{
+			Label:   fmt.Sprintf("%g", v),
+			Value:   v,
+			Numeric: true,
+			Apply: func(c *SweepCell) error {
+				if apply == nil {
+					return nil
+				}
+				return apply(c, v)
+			},
+		}
+	}
+	return SweepAxis{Name: name, Points: pts}
+}
+
+// AxisV sweeps the Lyapunov tradeoff knob: each point runs the proposed
+// controller at factor × the calibrated V.
+func AxisV(factors ...float64) SweepAxis {
+	return Axis("v", func(c *SweepCell, f float64) error {
+		if f <= 0 {
+			return fmt.Errorf("experiments: V factor must be positive, got %g", f)
+		}
+		c.VFactor = f
+		return nil
+	}, factors...)
+}
+
+// AxisServiceRate sweeps provisioning: each point scales the cell's base
+// capacity (the calibrated service rate, or the shared budget of
+// allocator cells) by the fraction.
+func AxisServiceRate(fractions ...float64) SweepAxis {
+	return Axis("rate", func(c *SweepCell, f float64) error {
+		if f <= 0 {
+			return fmt.Errorf("experiments: service fraction must be positive, got %g", f)
+		}
+		c.ServiceFraction = f
+		return nil
+	}, fractions...)
+}
+
+// AxisArrivalRate sweeps offered load: each point replaces the paper's
+// one-frame-per-slot arrivals with Poisson arrivals at the given mean,
+// seeded from the cell seed.
+func AxisArrivalRate(means ...float64) SweepAxis {
+	return Axis("arrivals", func(c *SweepCell, m float64) error {
+		if m <= 0 {
+			return fmt.Errorf("experiments: arrival rate must be positive, got %g", m)
+		}
+		c.ArrivalRate = m
+		return nil
+	}, means...)
+}
+
+// AxisSlots sweeps the horizon.
+func AxisSlots(slots ...int) SweepAxis {
+	pts := make([]AxisPoint, len(slots))
+	for i, n := range slots {
+		n := n
+		pts[i] = AxisPoint{
+			Label:   fmt.Sprintf("%d", n),
+			Value:   float64(n),
+			Numeric: true,
+			Apply: func(c *SweepCell) error {
+				if n <= 0 {
+					return fmt.Errorf("experiments: slot count must be positive, got %d", n)
+				}
+				c.Slots = n
+				return nil
+			},
+		}
+	}
+	return SweepAxis{Name: "slots", Points: pts}
+}
+
+// PolicySpec names one depth-policy candidate of a policy axis. New
+// builds a fresh instance per cell (per session, on the fleet backend)
+// so stateful policies never share state across cells.
+type PolicySpec struct {
+	// Name labels the point.
+	Name string
+	// New builds the policy over the calibrated scenario; rng is a
+	// dedicated stream for stochastic policies.
+	New func(s *Scenario, rng *geom.RNG) (policy.Policy, error)
+}
+
+// AxisPolicy sweeps the control policy.
+func AxisPolicy(specs ...PolicySpec) SweepAxis {
+	pts := make([]AxisPoint, len(specs))
+	for i, spec := range specs {
+		spec := spec
+		pts[i] = AxisPoint{
+			Label: spec.Name,
+			Apply: func(c *SweepCell) error {
+				if spec.New == nil {
+					return fmt.Errorf("experiments: policy %q has no factory", spec.Name)
+				}
+				c.NewPolicy = func(c *SweepCell, rng *geom.RNG) (policy.Policy, error) {
+					return spec.New(c.Scenario, rng)
+				}
+				return nil
+			},
+		}
+	}
+	return SweepAxis{Name: "policy", Points: pts}
+}
+
+// PolicyByName builds the built-in policy specs over a calibrated
+// scenario: "proposed" (the drift-plus-penalty controller), "max",
+// "min", "random", "threshold" (hysteresis around the controller's
+// switch backlog), and "oracle" (best fixed depth for the calibrated
+// rate).
+func PolicyByName(name string) (PolicySpec, error) {
+	switch name {
+	case "proposed":
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			return s.Controller()
+		}}, nil
+	case "max":
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			return policy.NewMaxDepth(s.Params.Depths)
+		}}, nil
+	case "min":
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			return policy.NewMinDepth(s.Params.Depths)
+		}}, nil
+	case "random":
+		return PolicySpec{Name: name, New: func(s *Scenario, rng *geom.RNG) (policy.Policy, error) {
+			if rng == nil {
+				rng = geom.NewRNG(s.Params.Seed)
+			}
+			return policy.NewRandom(s.Params.Depths, rng)
+		}}, nil
+	case "threshold":
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			ctrl, err := s.Controller()
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewThreshold(s.Params.Depths,
+				0.5*ctrl.SwitchBacklog(), ctrl.SwitchBacklog())
+		}}, nil
+	case "oracle":
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			return policy.BestFixed(s.Params.Depths, s.Cost, s.ServiceRate)
+		}}, nil
+	default:
+		return PolicySpec{}, fmt.Errorf("experiments: unknown policy %q (want proposed, max, min, random, threshold, oracle)", name)
+	}
+}
+
+// AxisAllocator sweeps the shared-budget split strategy by allocator
+// name ("equal", "proportional", "maxweight", "wrr" — see alloc.ByName),
+// building a fresh instance per cell so stateful allocators never share
+// state. Allocator cells run on the pool backend only.
+func AxisAllocator(names ...string) SweepAxis {
+	pts := make([]AxisPoint, len(names))
+	for i, name := range names {
+		name := name
+		pts[i] = AxisPoint{
+			Label: name,
+			Apply: func(c *SweepCell) error {
+				// Validate eagerly so a bad name fails the sweep before
+				// any cell runs.
+				if _, err := alloc.ByName(name); err != nil {
+					return err
+				}
+				c.NewAllocator = func() (alloc.Allocator, error) { return alloc.ByName(name) }
+				return nil
+			},
+		}
+	}
+	return SweepAxis{Name: "allocator", Points: pts}
+}
+
+// SweepNetwork names one capacity shape of a network axis. New builds a
+// fresh per-run (per-session, on the fleet backend) service process
+// around the cell's base capacity.
+type SweepNetwork struct {
+	// Name labels the point.
+	Name string
+	// Err, when non-nil, fails the sweep at grid build (constructors
+	// report invalid parameters here).
+	Err error
+	// New builds the capacity process; base is the cell's scaled base
+	// rate and rng a dedicated stream.
+	New func(base float64, rng *geom.RNG) delay.ServiceProcess
+}
+
+// AxisNetwork sweeps the network/capacity shape; each point also names
+// the fleet profile of fleet-backend cells.
+func AxisNetwork(nets ...SweepNetwork) SweepAxis {
+	pts := make([]AxisPoint, len(nets))
+	for i, net := range nets {
+		net := net
+		pts[i] = AxisPoint{
+			Label: net.Name,
+			Apply: func(c *SweepCell) error {
+				if net.Err != nil {
+					return net.Err
+				}
+				if net.New == nil {
+					return fmt.Errorf("experiments: network %q has no factory", net.Name)
+				}
+				c.NewService = func(c *SweepCell, base float64, rng *geom.RNG) delay.ServiceProcess {
+					return net.New(base, rng)
+				}
+				c.ProfileName = net.Name
+				return nil
+			},
+		}
+	}
+	return SweepAxis{Name: "net", Points: pts}
+}
+
+// NetworkStatic is the degenerate constant-capacity shape.
+func NetworkStatic() SweepNetwork {
+	return SweepNetwork{
+		Name: "static",
+		New: func(base float64, _ *geom.RNG) delay.ServiceProcess {
+			return &delay.ConstantService{Rate: base}
+		},
+	}
+}
+
+// NetworkMarkov is the mean-preserving Gilbert–Elliott fading shape of
+// the NetworkSweep ablation: the good state serves at (1+v)× and the bad
+// state at (1−v)× the base rate with symmetric 10-slot mean dwells, so
+// the stationary mean equals the base rate at every volatility. v must
+// lie in [0, 1).
+func NetworkMarkov(volatility float64) SweepNetwork {
+	n := SweepNetwork{Name: fmt.Sprintf("markov-v%.2f", volatility)}
+	if volatility < 0 || volatility >= 1 {
+		n.Err = fmt.Errorf("%w: %v", ErrBadVolatility, volatility)
+		return n
+	}
+	n.New = func(base float64, rng *geom.RNG) delay.ServiceProcess {
+		return &netem.MarkovBandwidth{
+			GoodRate: base * (1 + volatility),
+			BadRate:  base * (1 - volatility),
+			PGoodBad: 0.1, PBadGood: 0.1,
+			RNG: rng,
+		}
+	}
+	return n
+}
+
+// NetworkHandoff is the mobility shape: the base capacity modulated by
+// the default handoff factor process (mean 250-slot cell dwells, 4-slot
+// outages, new-cell scale in [0.7, 1.2]).
+func NetworkHandoff() SweepNetwork {
+	return SweepNetwork{
+		Name: "handoff",
+		New: func(base float64, rng *geom.RNG) delay.ServiceProcess {
+			hb := netem.DefaultHandoffFactor(rng)
+			return &delay.ModulatedService{
+				Inner:  &delay.ConstantService{Rate: base},
+				Factor: hb.Bandwidth,
+			}
+		},
+	}
+}
+
+// NetworkTrace replays a factor trace over the base capacity; each run
+// gets its own clone of the trace so concurrent cells never share
+// replay state.
+func NetworkTrace(tb *netem.TraceBandwidth) SweepNetwork {
+	n := SweepNetwork{Name: "trace"}
+	if tb == nil {
+		n.Err = fmt.Errorf("experiments: NetworkTrace needs a trace")
+		return n
+	}
+	n.Name = tb.Name()
+	n.New = func(base float64, _ *geom.RNG) delay.ServiceProcess {
+		clone := netem.CloneProcess(tb)
+		return &delay.ModulatedService{
+			Inner:  &delay.ConstantService{Rate: base},
+			Factor: clone.Bandwidth,
+		}
+	}
+	return n
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 
 	"qarv/internal/delay"
 	"qarv/internal/fleet"
@@ -70,7 +69,11 @@ func FleetVSweep(s *Scenario, factors []float64, sessions, slots int, seed uint6
 }
 
 // FleetVSweepContext is FleetVSweep under a cancelable context, honored
-// inside every shard's slot loops.
+// inside every shard's slot loops. It is a thin wrapper over the sweep
+// engine: a one-axis AxisV grid on the fleet backend, with the
+// stochastic population (Poisson arrivals, ±5% noisy service) installed
+// by a Configure hook and every cell pinned to the caller's seed so
+// each V point replays the same population.
 func FleetVSweepContext(ctx context.Context, s *Scenario, factors []float64, sessions, slots int, seed uint64) ([]FleetVSweepRow, error) {
 	if len(factors) == 0 {
 		factors = []float64{0.1, 0.5, 1, 2, 10}
@@ -94,35 +97,45 @@ func FleetVSweepContext(ctx context.Context, s *Scenario, factors []float64, ses
 			slots = scaled
 		}
 	}
-	rows := make([]FleetVSweepRow, 0, len(factors))
-	for _, f := range factors {
-		prof := s.FleetProfile("proposed", 1, f)
-		prof.NewArrivals = func(rng *geom.RNG) queueing.ArrivalProcess {
+	sw, err := NewSweep(s, AxisV(factors...))
+	if err != nil {
+		return nil, err
+	}
+	sw.Backend = BackendFleet(sessions)
+	sw.Slots = slots
+	sw.Seed = seed
+	sw.Configure(func(c *SweepCell) error {
+		c.Seed = seed
+		c.ProfileName = "proposed"
+		c.NewArrivals = func(_ *SweepCell, rng *geom.RNG) queueing.ArrivalProcess {
 			return &queueing.PoissonArrivals{Mean: 1, RNG: rng}
 		}
-		prof.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+		c.NewService = func(_ *SweepCell, _ float64, rng *geom.RNG) delay.ServiceProcess {
 			return &delay.NoisyService{Mean: s.ServiceRate, Std: 0.05 * s.ServiceRate, RNG: rng}
 		}
-		rep, err := fleet.RunContext(ctx, fleet.Spec{
-			Sessions: sessions,
-			Slots:    slots,
-			Seed:     seed,
-			Profiles: []fleet.Profile{prof},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("V=%gx: %w", f, err)
+		return nil
+	})
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FleetVSweepRow, 0, len(factors))
+	for i, f := range factors {
+		r := rep.Rows[i]
+		row := FleetVSweepRow{
+			VFactor:     f,
+			V:           s.V * f,
+			MeanUtility: r.Utility,
+			MeanBacklog: r.Backlog,
+			P95Backlog:  r.P95Backlog,
+			P99Sojourn:  r.P99Sojourn,
+			Sessions:    r.Sessions,
+			Verdicts:    r.Verdicts,
 		}
-		rows = append(rows, FleetVSweepRow{
-			VFactor:           f,
-			V:                 s.V * f,
-			MeanUtility:       rep.Total.Utility.Mean,
-			MeanBacklog:       rep.Total.Backlog.Mean,
-			P95Backlog:        rep.Total.Backlog.P95,
-			P99Sojourn:        rep.Total.Sojourn.P99,
-			Sessions:          rep.Total.Sessions,
-			Verdicts:          rep.Total.Verdicts,
-			DeviceSlotsPerSec: rep.DeviceSlotsPerSec,
-		})
+		if r.Detail != nil && r.Detail.Fleet != nil {
+			row.DeviceSlotsPerSec = r.Detail.Fleet.DeviceSlotsPerSec
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -3,12 +3,8 @@ package experiments
 import (
 	"context"
 	"errors"
-	"fmt"
 
-	"qarv/internal/delay"
 	"qarv/internal/fleet"
-	"qarv/internal/geom"
-	"qarv/internal/netem"
 )
 
 // ---------------------------------------------------------------------------
@@ -58,7 +54,11 @@ func NetworkSweep(s *Scenario, volatilities []float64, sessions, slots int, seed
 }
 
 // NetworkSweepContext is NetworkSweep under a cancelable context,
-// honored inside every shard's slot loops.
+// honored inside every shard's slot loops. It is a thin wrapper over
+// the sweep engine: a one-axis AxisNetwork grid of mean-preserving
+// NetworkMarkov shapes on the fleet backend, every cell pinned to the
+// caller's seed (the legacy contract: each volatility point replays the
+// same population).
 func NetworkSweepContext(ctx context.Context, s *Scenario, volatilities []float64, sessions, slots int, seed uint64) ([]NetworkSweepRow, error) {
 	if len(volatilities) == 0 {
 		volatilities = []float64{0, 0.3, 0.6, 0.9}
@@ -69,45 +69,46 @@ func NetworkSweepContext(ctx context.Context, s *Scenario, volatilities []float6
 	if slots <= 0 {
 		slots = 2 * s.Params.Slots
 	}
+	// Symmetric transition probabilities (NetworkMarkov): the stationary
+	// split is 50/50, so the mean capacity equals the calibrated rate at
+	// every volatility — only the variance moves. Mean dwell 10 slots
+	// per state, long enough for bad states to back the queue up, short
+	// enough to mix over the horizon.
+	nets := make([]SweepNetwork, len(volatilities))
+	for i, v := range volatilities {
+		nets[i] = NetworkMarkov(v)
+	}
+	ax := AxisNetwork(nets...)
+	for i, v := range volatilities {
+		ax.Points[i].Value = v
+		ax.Points[i].Numeric = true
+	}
+	sw, err := NewSweep(s, ax)
+	if err != nil {
+		return nil, err
+	}
+	sw.Backend = BackendFleet(sessions)
+	sw.Slots = slots
+	sw.Seed = seed
+	sw.Configure(func(c *SweepCell) error { c.Seed = seed; return nil })
+	rep, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rate := s.ServiceRate
 	rows := make([]NetworkSweepRow, 0, len(volatilities))
-	for _, v := range volatilities {
-		if v < 0 || v >= 1 {
-			return nil, fmt.Errorf("%w: %v", ErrBadVolatility, v)
-		}
-		good, bad := rate*(1+v), rate*(1-v)
-		prof := s.FleetProfile(fmt.Sprintf("markov-v%.2f", v), 1, 1)
-		prof.NewService = func(rng *geom.RNG) delay.ServiceProcess {
-			// Symmetric transition probabilities: the stationary split is
-			// 50/50, so the mean capacity equals the calibrated rate at
-			// every volatility — only the variance moves. Mean dwell 10
-			// slots per state, long enough for bad states to back the
-			// queue up, short enough to mix over the horizon.
-			return &netem.MarkovBandwidth{
-				GoodRate: good, BadRate: bad,
-				PGoodBad: 0.1, PBadGood: 0.1,
-				RNG: rng,
-			}
-		}
-		rep, err := fleet.RunContext(ctx, fleet.Spec{
-			Sessions: sessions,
-			Slots:    slots,
-			Seed:     seed,
-			Profiles: []fleet.Profile{prof},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("volatility %g: %w", v, err)
-		}
+	for i, v := range volatilities {
+		r := rep.Rows[i]
 		rows = append(rows, NetworkSweepRow{
 			Volatility:  v,
-			GoodRate:    good,
-			BadRate:     bad,
-			MeanUtility: rep.Total.Utility.Mean,
-			MeanBacklog: rep.Total.Backlog.Mean,
-			P95Backlog:  rep.Total.Backlog.P95,
-			P99Sojourn:  rep.Total.Sojourn.P99,
-			Sessions:    rep.Total.Sessions,
-			Verdicts:    rep.Total.Verdicts,
+			GoodRate:    rate * (1 + v),
+			BadRate:     rate * (1 - v),
+			MeanUtility: r.Utility,
+			MeanBacklog: r.Backlog,
+			P95Backlog:  r.P95Backlog,
+			P99Sojourn:  r.P99Sojourn,
+			Sessions:    r.Sessions,
+			Verdicts:    r.Verdicts,
 		})
 	}
 	return rows, nil

@@ -1,0 +1,400 @@
+package experiments
+
+// Result-equality pins for the sweep-engine redesign: each legacy sweep
+// function is now a thin wrapper over the engine, and must reproduce the
+// pre-redesign implementation's output exactly for a fixed seed. The
+// legacy implementations are frozen here verbatim (modulo names) as the
+// reference.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"qarv/internal/alloc"
+	"qarv/internal/core"
+	"qarv/internal/delay"
+	"qarv/internal/fleet"
+	"qarv/internal/geom"
+	"qarv/internal/netem"
+	"qarv/internal/quality"
+	"qarv/internal/queueing"
+	"qarv/internal/sim"
+)
+
+// legacyVSweep is the pre-engine VSweepContext, frozen.
+func legacyVSweep(ctx context.Context, s *Scenario, factors []float64, slots int) ([]VSweepRow, error) {
+	rows := make([]VSweepRow, 0, len(factors))
+	for _, f := range factors {
+		v := s.V * f
+		ctrl, err := s.ControllerWithV(v)
+		if err != nil {
+			return nil, fmt.Errorf("V=%v: %w", v, err)
+		}
+		cfg := s.SimConfig(ctrl)
+		cfg.Slots = slots
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("V=%v: %w", v, err)
+		}
+		verdict, err := res.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		row := VSweepRow{
+			V:              v,
+			TimeAvgUtility: res.TimeAvgUtility,
+			TimeAvgBacklog: res.TimeAvgBacklog,
+			MaxBacklog:     res.MaxBacklog,
+			Verdict:        verdict.String(),
+		}
+		if b, err := ctrl.TheoreticalBounds(s.ServiceRate); err == nil {
+			row.BoundUtilityGap = b.UtilityGap
+			row.BoundBacklog = b.BacklogBound
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// legacyRateSweep is the pre-engine RateSweepContext, frozen.
+func legacyRateSweep(ctx context.Context, s *Scenario, fractions []float64, slots int) ([]RateSweepRow, error) {
+	ctrl, err := s.Controller()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RateSweepRow, 0, len(fractions))
+	for _, f := range fractions {
+		cfg := s.SimConfig(ctrl)
+		cfg.Service = &delay.ConstantService{Rate: s.ServiceRate * f}
+		cfg.Slots = slots
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fraction %v: %w", f, err)
+		}
+		verdict, err := res.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		var depthSum float64
+		for _, d := range res.Depth {
+			depthSum += float64(d)
+		}
+		rows = append(rows, RateSweepRow{
+			RateFraction:   f,
+			TimeAvgUtility: res.TimeAvgUtility,
+			TimeAvgBacklog: res.TimeAvgBacklog,
+			Verdict:        verdict.String(),
+			MeanDepth:      depthSum / float64(len(res.Depth)),
+		})
+	}
+	return rows, nil
+}
+
+// legacyUtilitySweep is the pre-engine UtilitySweepContext, frozen.
+func legacyUtilitySweep(ctx context.Context, s *Scenario, slots int) ([]UtilitySweepRow, error) {
+	models := legacyUtilityModels(s)
+	rows := make([]UtilitySweepRow, 0, len(models))
+	for _, m := range models {
+		cfg := core.Config{Depths: s.Params.Depths, Utility: m, Cost: s.Cost}
+		v, err := core.CalibrateV(s.Params.KneeSlot, s.ServiceRate, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		cfg.V = v
+		ctrl, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		simCfg := s.SimConfig(ctrl)
+		simCfg.Utility = m
+		simCfg.Slots = slots
+		res, err := sim.RunContext(ctx, simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		verdict, err := res.Verdict()
+		if err != nil {
+			return nil, err
+		}
+		var depthSum float64
+		dMax := 0
+		for _, d := range res.Depth {
+			depthSum += float64(d)
+			if d > dMax {
+				dMax = d
+			}
+		}
+		knee := -1
+		for t, d := range res.Depth {
+			if d < dMax {
+				knee = t
+				break
+			}
+		}
+		rows = append(rows, UtilitySweepRow{
+			Model:          m.Name(),
+			TimeAvgBacklog: res.TimeAvgBacklog,
+			Verdict:        verdict.String(),
+			MeanDepth:      depthSum / float64(len(res.Depth)),
+			KneeSlot:       knee,
+		})
+	}
+	return rows, nil
+}
+
+// legacyUtilityModels mirrors the wrapper's model list so both sides
+// sweep identical models.
+func legacyUtilityModels(s *Scenario) []quality.UtilityModel {
+	models := []quality.UtilityModel{}
+	if logU, err := quality.NewLogPointUtility(s.Profile); err == nil {
+		models = append(models, logU)
+	}
+	if normU, err := quality.NewNormalizedPointUtility(s.Profile); err == nil {
+		models = append(models, normU)
+	}
+	models = append(models, &quality.LinearDepthUtility{MaxDepth: s.Params.CaptureDepth})
+	return models
+}
+
+// legacyNetworkSweep is the pre-engine NetworkSweepContext, frozen.
+func legacyNetworkSweep(ctx context.Context, s *Scenario, volatilities []float64, sessions, slots int, seed uint64) ([]NetworkSweepRow, error) {
+	rate := s.ServiceRate
+	rows := make([]NetworkSweepRow, 0, len(volatilities))
+	for _, v := range volatilities {
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("%w: %v", ErrBadVolatility, v)
+		}
+		good, bad := rate*(1+v), rate*(1-v)
+		prof := s.FleetProfile(fmt.Sprintf("markov-v%.2f", v), 1, 1)
+		prof.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+			return &netem.MarkovBandwidth{
+				GoodRate: good, BadRate: bad,
+				PGoodBad: 0.1, PBadGood: 0.1,
+				RNG: rng,
+			}
+		}
+		rep, err := fleet.RunContext(ctx, fleet.Spec{
+			Sessions: sessions,
+			Slots:    slots,
+			Seed:     seed,
+			Profiles: []fleet.Profile{prof},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("volatility %g: %w", v, err)
+		}
+		rows = append(rows, NetworkSweepRow{
+			Volatility:  v,
+			GoodRate:    good,
+			BadRate:     bad,
+			MeanUtility: rep.Total.Utility.Mean,
+			MeanBacklog: rep.Total.Backlog.Mean,
+			P95Backlog:  rep.Total.Backlog.P95,
+			P99Sojourn:  rep.Total.Sojourn.P99,
+			Sessions:    rep.Total.Sessions,
+			Verdicts:    rep.Total.Verdicts,
+		})
+	}
+	return rows, nil
+}
+
+// legacyFleetVSweep is the pre-engine FleetVSweepContext, frozen.
+func legacyFleetVSweep(ctx context.Context, s *Scenario, factors []float64, sessions, slots int, seed uint64) ([]FleetVSweepRow, error) {
+	rows := make([]FleetVSweepRow, 0, len(factors))
+	for _, f := range factors {
+		prof := s.FleetProfile("proposed", 1, f)
+		prof.NewArrivals = func(rng *geom.RNG) queueing.ArrivalProcess {
+			return &queueing.PoissonArrivals{Mean: 1, RNG: rng}
+		}
+		prof.NewService = func(rng *geom.RNG) delay.ServiceProcess {
+			return &delay.NoisyService{Mean: s.ServiceRate, Std: 0.05 * s.ServiceRate, RNG: rng}
+		}
+		rep, err := fleet.RunContext(ctx, fleet.Spec{
+			Sessions: sessions,
+			Slots:    slots,
+			Seed:     seed,
+			Profiles: []fleet.Profile{prof},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("V=%gx: %w", f, err)
+		}
+		rows = append(rows, FleetVSweepRow{
+			VFactor:           f,
+			V:                 s.V * f,
+			MeanUtility:       rep.Total.Utility.Mean,
+			MeanBacklog:       rep.Total.Backlog.Mean,
+			P95Backlog:        rep.Total.Backlog.P95,
+			P99Sojourn:        rep.Total.Sojourn.P99,
+			Sessions:          rep.Total.Sessions,
+			Verdicts:          rep.Total.Verdicts,
+			DeviceSlotsPerSec: rep.DeviceSlotsPerSec,
+		})
+	}
+	return rows, nil
+}
+
+// legacyAllocatorSweep is the pre-engine AllocatorSweepContext, frozen.
+func legacyAllocatorSweep(ctx context.Context, s *Scenario, specs []AllocDeviceSpec, budget float64, slots int, allocators []alloc.Allocator) ([]AllocatorSweepRow, error) {
+	rows := make([]AllocatorSweepRow, 0, len(allocators))
+	for _, a := range allocators {
+		devices, err := fleetDevices(s, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunMultiContext(ctx, sim.MultiConfig{
+			Devices:   devices,
+			Service:   &delay.ConstantService{Rate: budget},
+			Allocator: a,
+			Slots:     slots,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("allocator %s: %w", a.Name(), err)
+		}
+		row := AllocatorSweepRow{
+			Allocator:           res.Allocator,
+			PerDevice:           make([]MultiDeviceRow, len(res.PerDevice)),
+			TotalTimeAvgBacklog: res.TotalTimeAvgBacklog,
+			MeanTimeAvgUtility:  res.MeanTimeAvgUtility,
+		}
+		var sojournSum float64
+		var completed int
+		for i, r := range res.PerDevice {
+			verdict, err := r.Verdict()
+			if err != nil {
+				return nil, err
+			}
+			if verdict == queueing.VerdictDiverging {
+				row.Diverging++
+			}
+			row.PerDevice[i] = MultiDeviceRow{
+				Device:         i,
+				TimeAvgUtility: r.TimeAvgUtility,
+				TimeAvgBacklog: r.TimeAvgBacklog,
+				Verdict:        verdict.String(),
+				MeanSojourn:    r.MeanSojourn,
+			}
+			for _, c := range r.Completed {
+				sojournSum += float64(c.Sojourn)
+			}
+			completed += len(r.Completed)
+		}
+		if completed > 0 {
+			row.MeanSojourn = sojournSum / float64(completed)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func TestVSweepPinnedToLegacy(t *testing.T) {
+	s := sharedScenario(t)
+	factors := []float64{0.5, 2}
+	got, err := VSweepContext(context.Background(), s, factors, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyVSweep(context.Background(), s, factors, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("VSweep diverged from legacy:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRateSweepPinnedToLegacy(t *testing.T) {
+	s := sharedScenario(t)
+	fractions := []float64{0.8, 1.1}
+	got, err := RateSweepContext(context.Background(), s, fractions, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyRateSweep(context.Background(), s, fractions, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RateSweep diverged from legacy:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestUtilitySweepPinnedToLegacy(t *testing.T) {
+	s := sharedScenario(t)
+	got, err := UtilitySweepContext(context.Background(), s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyUtilitySweep(context.Background(), s, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UtilitySweep diverged from legacy:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestNetworkSweepPinnedToLegacy(t *testing.T) {
+	s := sharedScenario(t)
+	vols := []float64{0, 0.6}
+	got, err := NetworkSweepContext(context.Background(), s, vols, 16, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyNetworkSweep(context.Background(), s, vols, 16, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NetworkSweep diverged from legacy:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFleetVSweepPinnedToLegacy(t *testing.T) {
+	s := sharedScenario(t)
+	factors := []float64{0.5, 2}
+	got, err := FleetVSweepContext(context.Background(), s, factors, 16, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyFleetVSweep(context.Background(), s, factors, 16, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DeviceSlotsPerSec is wall clock, not deterministic.
+	for i := range got {
+		got[i].DeviceSlotsPerSec = 0
+	}
+	for i := range want {
+		want[i].DeviceSlotsPerSec = 0
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FleetVSweep diverged from legacy:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestAllocatorSweepPinnedToLegacy(t *testing.T) {
+	s := sharedScenario(t)
+	specs := HeterogeneousSpecs(3)
+	budget := 1.25 * FleetMinDemand(s, specs)
+	allocators := func() []alloc.Allocator {
+		return []alloc.Allocator{
+			alloc.EqualSplit{},
+			&alloc.ProportionalBacklog{},
+			alloc.NewMaxWeight(),
+		}
+	}
+	got, err := AllocatorSweepContext(context.Background(), s, specs, budget, 200, allocators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh instances for the reference run: stateful allocators must
+	// not carry state between the two sweeps.
+	want, err := legacyAllocatorSweep(context.Background(), s, specs, budget, 200, allocators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AllocatorSweep diverged from legacy:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -50,6 +50,12 @@ func NewTable(xName string, n int) *Table {
 	return &Table{XName: xName, X: x}
 }
 
+// NewTableWithX builds a table over an explicit x axis (octree depths,
+// sweep cells — anything that isn't consecutive slot numbers).
+func NewTableWithX(xName string, x []float64) *Table {
+	return &Table{XName: xName, X: x}
+}
+
 // Add appends a series, validating its length.
 func (t *Table) Add(s Series) error {
 	if len(s.Values) != len(t.X) {

@@ -181,3 +181,22 @@ func TestRenderTextTable(t *testing.T) {
 		t.Error("empty headers must error")
 	}
 }
+
+func TestNewTableWithX(t *testing.T) {
+	tab := NewTableWithX("depth", []float64{5, 7, 10})
+	if err := tab.Add(Series{Name: "points", Values: []float64{10, 100, 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	// The explicit axis governs length validation.
+	if err := tab.Add(Series{Name: "short", Values: []float64{1}}); err == nil {
+		t.Error("mismatched series must error")
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 || lines[1] != "5,10" || lines[3] != "10,1000" {
+		t.Errorf("csv = %q", buf.String())
+	}
+}

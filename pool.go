@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"qarv/internal/experiments"
 )
 
 // SessionPool runs a batch of sessions concurrently over a fixed-size
@@ -64,9 +66,15 @@ func (p *SessionPool) Run(ctx context.Context) ([]*Report, error) {
 			for i := range jobs {
 				rep, err := p.runners[i].Run(ctx)
 				if err != nil {
+					err = fmt.Errorf("qarv: session %d: %w", i, err)
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("qarv: session %d: %w", i, err)
+					// Prefer the first non-context error: a cancellation
+					// fanned out to sibling workers (or observed by a
+					// run racing the root-cause latch) must not mask the
+					// worker error that caused it — mirroring the fleet
+					// engine's shard-error handling.
+					if firstErr == nil || (experiments.IsContextError(firstErr) && !experiments.IsContextError(err)) {
+						firstErr = err
 						cancel()
 					}
 					mu.Unlock()

@@ -51,6 +51,29 @@
 //	frep, _ := fl.Run(ctx)
 //	fmt.Println(frep.Total.Sojourn.P99, frep.DeviceSlotsPerSec)
 //
+// # Sweeps
+//
+// Experiments are declarative: NewSweep crosses typed axes (AxisV,
+// AxisArrivalRate, AxisPolicy, AxisAllocator, AxisNetwork, AxisSlots,
+// or the generic Axis) into a grid over a calibrated scenario and runs
+// every cell concurrently on a pluggable backend — BackendPool in
+// process, BackendFleet as a session population per cell — with
+// per-cell seed derivation, so reports are byte-identical at any
+// worker count:
+//
+//	sw, _ := qarv.NewSweep(scn,
+//	    qarv.AxisV(0.5, 1, 2),
+//	    qarv.AxisNetwork(qarv.NetworkStatic(), qarv.NetworkMarkov(0.6)),
+//	)
+//	sw.Backend = qarv.BackendFleet(1000)
+//	rep, _ := sw.Run(ctx)    // one SweepRow per cell, grid order
+//	tab, _ := rep.Table()    // trace.Table → CSV/JSON/ASCII
+//
+// The classic ablations (VSweep, RateSweep, UtilitySweep, NetworkSweep,
+// AllocatorSweep, FleetVSweep) are thin wrappers over this engine; see
+// cmd/qarvsweep for grids from the command line and MIGRATION.md for
+// the mapping.
+//
 // # Building blocks
 //
 //	cloud, _ := qarv.GenerateBody(qarv.BodyConfig{}, qarv.Pose{})

@@ -3,6 +3,8 @@ package qarv
 import (
 	"context"
 	"encoding/json"
+	"math"
+	"sync"
 	"testing"
 )
 
@@ -185,6 +187,112 @@ func TestWithSeedMarkovService(t *testing.T) {
 	}
 	if c := run(22); string(c) == string(a) {
 		t.Fatal("different seed produced an identical markov-service report")
+	}
+}
+
+// The calibrated scenario is expensive to build (synthetic frame +
+// octree), so the sweep tests share one instance.
+var (
+	sweepScnOnce sync.Once
+	sweepScn     *Scenario
+	sweepScnErr  error
+)
+
+func sweepScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sweepScnOnce.Do(func() {
+		sweepScn, sweepScnErr = NewScenario(ScenarioParams{Samples: 40_000, Slots: 400, KneeSlot: 200, Seed: 2})
+	})
+	if sweepScnErr != nil {
+		t.Fatal(sweepScnErr)
+	}
+	return sweepScn
+}
+
+// threeAxisSweep builds the acceptance grid: a 3-axis cross product
+// where every cell is stochastic, so per-cell seed derivation is doing
+// real work.
+func threeAxisSweep(t *testing.T, workers int, seed uint64) *Sweep {
+	t.Helper()
+	sw, err := NewSweep(sweepScenario(t),
+		AxisV(0.5, 1),
+		AxisArrivalRate(0.9, 1.1),
+		AxisNetwork(NetworkStatic(), NetworkMarkov(0.5)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Workers = workers
+	sw.Slots = 120
+	sw.Seed = seed
+	return sw
+}
+
+func sweepJSON(t *testing.T, sw *Sweep) string {
+	t.Helper()
+	rep, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestSweepDeterminismAcrossWorkers pins the sweep engine's seed
+// contract through the facade: a 3-axis stochastic cross product is
+// byte-identical at workers 1, 4, and GOMAXPROCS, and a different sweep
+// seed actually changes the report.
+func TestSweepDeterminismAcrossWorkers(t *testing.T) {
+	base := sweepJSON(t, threeAxisSweep(t, 1, 42))
+	if got := sweepJSON(t, threeAxisSweep(t, 4, 42)); got != base {
+		t.Fatal("workers=4 diverged from workers=1")
+	}
+	if got := sweepJSON(t, threeAxisSweep(t, 0, 42)); got != base {
+		t.Fatal("workers=GOMAXPROCS diverged from workers=1")
+	}
+	if got := sweepJSON(t, threeAxisSweep(t, 4, 43)); got == base {
+		t.Fatal("different sweep seed produced an identical report")
+	}
+}
+
+// TestSweepDeterminismFleetBackend: the same contract when every cell
+// is a sharded fleet.
+func TestSweepDeterminismFleetBackend(t *testing.T) {
+	run := func(workers int) string {
+		sw := threeAxisSweep(t, workers, 42)
+		sw.Backend = BackendFleet(8)
+		sw.Slots = 60
+		return sweepJSON(t, sw)
+	}
+	base := run(1)
+	if got := run(4); got != base {
+		t.Fatal("fleet-backend sweep diverged across worker counts")
+	}
+}
+
+// TestSweepBackendsCoincideViaFacade: a deterministic cell reports the
+// same means whether run in-process or as a single-session fleet.
+func TestSweepBackendsCoincideViaFacade(t *testing.T) {
+	run := func(b SweepBackend) SweepRow {
+		sw, err := NewSweep(sweepScenario(t), AxisV(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.Backend = b
+		sw.Slots = 200
+		rep, err := sw.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Rows[0]
+	}
+	pool, fl := run(BackendPool()), run(BackendFleet(1))
+	if math.Abs(pool.Utility-fl.Utility) > 1e-9 || math.Abs(pool.Backlog-fl.Backlog) > 1e-9 {
+		t.Errorf("backends diverge: pool (%v, %v) vs fleet (%v, %v)",
+			pool.Utility, pool.Backlog, fl.Utility, fl.Backlog)
 	}
 }
 

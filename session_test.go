@@ -3,6 +3,7 @@ package qarv
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync"
@@ -298,6 +299,47 @@ func TestSessionPoolFirstErrorCancels(t *testing.T) {
 	if _, err := pool.Run(context.Background()); err == nil {
 		t.Fatal("pool swallowed the error")
 	} else if !strings.Contains(err.Error(), "session 0") {
+		t.Errorf("error %q does not identify the failing session", err)
+	}
+}
+
+// canceledRunner simulates a session that aborted on a cancellation it
+// observed mid-slot-loop, the way sim.RunContext wraps ctx.Err().
+type canceledRunner struct{}
+
+func (canceledRunner) Run(context.Context) (*Report, error) {
+	return nil, fmt.Errorf("sim: canceled at slot 12: %w", context.Canceled)
+}
+
+// rootCauseRunner waits until a sibling's error has canceled the pool,
+// then fails with the real (root-cause-shaped) error — deterministically
+// reproducing the latch race where a cancellation-shaped failure wins.
+type rootCauseRunner struct{}
+
+func (rootCauseRunner) Run(ctx context.Context) (*Report, error) {
+	<-ctx.Done()
+	return nil, errors.New("device exploded")
+}
+
+// Regression (PR 5): a cancellation-shaped failure latched first must
+// not mask the root-cause worker error — the pool prefers the first
+// non-context error, mirroring the fleet engine's shard-error handling.
+func TestSessionPoolRootCauseErrorPreferred(t *testing.T) {
+	// Session 0 is fed first and parks until the pool is canceled, so
+	// session 1's context-wrapped failure is always latched first (and
+	// cancels the pool); session 0's real error arrives strictly
+	// afterwards and must replace it.
+	_, err := NewSessionPool(2, rootCauseRunner{}, canceledRunner{}).Run(context.Background())
+	if err == nil {
+		t.Fatal("pool swallowed the errors")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("root cause masked by a cancellation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "device exploded") {
+		t.Fatalf("error %q does not carry the root cause", err)
+	}
+	if !strings.Contains(err.Error(), "session 0") {
 		t.Errorf("error %q does not identify the failing session", err)
 	}
 }

@@ -1,0 +1,156 @@
+package qarv
+
+import (
+	"context"
+
+	"qarv/internal/experiments"
+)
+
+// ---------------------------------------------------------------------------
+// Declarative sweeps (one experiment engine over sessions and fleets)
+// ---------------------------------------------------------------------------
+
+type (
+	// Sweep is a declarative grid experiment: the cross product of its
+	// axes over a calibrated scenario, executed concurrently on a
+	// pluggable backend with per-cell seed derivation, so reports are
+	// byte-identical at any worker count. Build with NewSweep, configure
+	// the exported knobs (Workers, Backend, Slots, Seed), then Run.
+	Sweep = experiments.Sweep
+	// SweepAxis is one dimension of a sweep grid; axes cross in
+	// declaration order with the last axis varying fastest.
+	SweepAxis = experiments.SweepAxis
+	// SweepAxisPoint is one value of a sweep axis: a label, an optional
+	// numeric coordinate, and the cell mutation it applies.
+	SweepAxisPoint = experiments.AxisPoint
+	// SweepCell is the mutable per-cell configuration axis points and
+	// Sweep.Configure hooks mutate before the backend runs the cell.
+	SweepCell = experiments.SweepCell
+	// SweepBackend executes resolved sweep cells: BackendPool runs each
+	// cell in process, BackendFleet runs each cell as a session
+	// population.
+	SweepBackend = experiments.SweepBackend
+	// SweepReport is the unified result of a sweep: one SweepRow per
+	// grid cell, exportable as a trace.Table (CSV/JSON/ASCII chart).
+	SweepReport = experiments.SweepReport
+	// SweepRow is one grid cell's outcome: axis coordinates plus the
+	// common metric set (utility, backlog, sojourn quantiles, verdict).
+	SweepRow = experiments.SweepRow
+	// SweepCoord locates a sweep row along one axis.
+	SweepCoord = experiments.SweepCoord
+	// SweepCellResult is a row's full backend result for drill-down.
+	SweepCellResult = experiments.SweepCellResult
+	// SweepNetwork names one capacity shape of a network axis.
+	SweepNetwork = experiments.SweepNetwork
+	// PolicySpec names one depth-policy candidate of a policy axis.
+	PolicySpec = experiments.PolicySpec
+)
+
+// NewSweep validates typed axes into a runnable sweep over the
+// calibrated scenario: the grid is their cross product, each cell
+// resolved from the scenario defaults (proposed controller at the
+// calibrated V, one-frame-per-slot arrivals, constant service at the
+// calibrated rate) with every axis overriding its knob.
+//
+//	sw, _ := qarv.NewSweep(scn,
+//	    qarv.AxisV(0.5, 1, 2),
+//	    qarv.AxisNetwork(qarv.NetworkStatic(), qarv.NetworkMarkov(0.6)),
+//	)
+//	sw.Backend = qarv.BackendFleet(1000) // population-scale cells
+//	rep, _ := sw.Run(ctx)                // rows in grid order
+func NewSweep(s *Scenario, axes ...SweepAxis) (*Sweep, error) {
+	return experiments.NewSweep(s, axes...)
+}
+
+// BackendPool returns the in-process sweep backend: each cell is one
+// simulation run (single-device, or shared-budget multi-device when the
+// cell carries an allocator), executed SessionPool-style across the
+// sweep's workers.
+func BackendPool() SweepBackend { return experiments.BackendPool() }
+
+// BackendFleet returns the fleet sweep backend: each cell runs a
+// population of the given session count (<= 0 takes 256) through the
+// sharded fleet engine.
+func BackendFleet(sessions int) SweepBackend { return experiments.BackendFleet(sessions) }
+
+// SweepCellSeed derives the seed of one grid cell from a sweep seed —
+// exposed so callers can reproduce any single cell out-of-band.
+func SweepCellSeed(seed uint64, cell int) uint64 { return experiments.CellSeed(seed, cell) }
+
+// Axis is the generic sweep-axis escape hatch: a named numeric axis
+// whose apply function receives the cell and the point's value.
+func Axis(name string, apply func(c *SweepCell, v float64) error, values ...float64) SweepAxis {
+	return experiments.Axis(name, apply, values...)
+}
+
+// AxisV sweeps the Lyapunov tradeoff knob: each point runs the proposed
+// controller at factor × the calibrated V.
+func AxisV(factors ...float64) SweepAxis { return experiments.AxisV(factors...) }
+
+// AxisServiceRate sweeps provisioning: each point scales the cell's
+// base capacity by the fraction.
+func AxisServiceRate(fractions ...float64) SweepAxis {
+	return experiments.AxisServiceRate(fractions...)
+}
+
+// AxisArrivalRate sweeps offered load: each point replaces the paper's
+// one-frame-per-slot arrivals with Poisson arrivals at the given mean.
+func AxisArrivalRate(means ...float64) SweepAxis { return experiments.AxisArrivalRate(means...) }
+
+// AxisSlots sweeps the horizon.
+func AxisSlots(slots ...int) SweepAxis { return experiments.AxisSlots(slots...) }
+
+// AxisPolicy sweeps the control policy over named policy factories (see
+// SweepPolicyByName for the built-ins).
+func AxisPolicy(specs ...PolicySpec) SweepAxis { return experiments.AxisPolicy(specs...) }
+
+// SweepPolicyByName builds a built-in policy spec: "proposed", "max",
+// "min", "random", "threshold", or "oracle".
+func SweepPolicyByName(name string) (PolicySpec, error) { return experiments.PolicyByName(name) }
+
+// AxisAllocator sweeps the shared-budget split strategy by allocator
+// name ("equal", "proportional", "maxweight", "wrr"), switching cells
+// to multi-device runs; pool backend only.
+func AxisAllocator(names ...string) SweepAxis { return experiments.AxisAllocator(names...) }
+
+// AxisNetwork sweeps the network/capacity shape (NetworkStatic,
+// NetworkMarkov, NetworkHandoff, NetworkTraceShape, or custom).
+func AxisNetwork(nets ...SweepNetwork) SweepAxis { return experiments.AxisNetwork(nets...) }
+
+// NetworkStatic is the constant-capacity sweep shape.
+func NetworkStatic() SweepNetwork { return experiments.NetworkStatic() }
+
+// NetworkMarkov is the mean-preserving Gilbert–Elliott fading sweep
+// shape at the given volatility in [0, 1) (good = (1+v)×, bad = (1−v)×
+// the base rate, symmetric 10-slot mean dwells).
+func NetworkMarkov(volatility float64) SweepNetwork { return experiments.NetworkMarkov(volatility) }
+
+// NetworkHandoff is the mobility sweep shape: base capacity modulated
+// by the default handoff factor process.
+func NetworkHandoff() SweepNetwork { return experiments.NetworkHandoff() }
+
+// NetworkTraceShape replays a factor trace over the base capacity
+// (clone-per-run, so concurrent cells never share replay state).
+func NetworkTraceShape(tb *TraceBandwidth) SweepNetwork { return experiments.NetworkTrace(tb) }
+
+// ---------------------------------------------------------------------------
+// Context parity for the legacy sweep entry points
+// ---------------------------------------------------------------------------
+
+// NetworkSweepContext is NetworkSweep under a cancelable context,
+// honored inside every shard's slot loops — no public sweep is
+// uncancellable.
+func NetworkSweepContext(ctx context.Context, s *Scenario, volatilities []float64, sessions, slots int, seed uint64) ([]NetworkSweepRow, error) {
+	return experiments.NetworkSweepContext(ctx, s, volatilities, sessions, slots, seed)
+}
+
+// AllocatorSweepContext is AllocatorSweep under a cancelable context.
+func AllocatorSweepContext(ctx context.Context, s *Scenario, specs []AllocDeviceSpec, budget float64, slots int, allocators []Allocator) ([]AllocatorSweepRow, error) {
+	return experiments.AllocatorSweepContext(ctx, s, specs, budget, slots, allocators)
+}
+
+// FleetVSweepContext is FleetVSweep under a cancelable context, honored
+// inside every shard's slot loops.
+func FleetVSweepContext(ctx context.Context, s *Scenario, factors []float64, sessions, slots int, seed uint64) ([]FleetVSweepRow, error) {
+	return experiments.FleetVSweepContext(ctx, s, factors, sessions, slots, seed)
+}
