@@ -81,7 +81,7 @@ func run(args []string, out io.Writer) error {
 		}
 		comment := fmt.Sprintf("synthetic 8i-style capture: %s frame %d depth %d", *character, i, *depth)
 		if err := ply.WriteCloud(f, cloud, plyFormat, comment); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return fmt.Errorf("write %s: %w", path, err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"nondeterminism:", "ctxloop:", "reseedclone:", "errstyle:", "doccheck:"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestDoccheckLegacyCLI pins the retired cmd/doccheck's CLI contract on
+// qarvcheck -doccheck: same usage error, same per-directory report
+// lines, same ok lines and -q suppression, same exit codes.
+func TestDoccheckLegacyCLI(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "doccheck", "src", "qarv", "internal", "render")
+	clean := filepath.Join("..", "..", "internal", "lint", "testdata", "reseedclone", "src", "qarv", "internal", "geom")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-doccheck"}, &out, &errb); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage: doccheck [-q] DIR [DIR...]") {
+		t.Errorf("usage line diverged: %q", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-doccheck", fixture}, &out, &errb); code != 1 {
+		t.Errorf("fixture: exit = %d, want 1", code)
+	}
+	wantLines := []string{
+		"render.go:9: exported type Undocumented is missing a doc comment",
+		"render.go:17: exported var V is missing a doc comment",
+		"render.go:22: exported function UndocumentedFunc is missing a doc comment",
+		"render.go:32: exported method N is missing a doc comment",
+		"render.go:38: exported var Y is missing a doc comment",
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(out.String(), line) {
+			t.Errorf("stdout missing %q:\n%s", line, out.String())
+		}
+	}
+	if got := errb.String(); got != "doccheck: 5 exported identifier(s) missing doc comments\n" {
+		t.Errorf("summary diverged: %q", got)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-doccheck", clean}, &out, &errb); code != 0 {
+		t.Errorf("clean dir: exit = %d, stderr: %s", code, errb.String())
+	}
+	if got := out.String(); got != "doccheck: "+clean+": ok\n" {
+		t.Errorf("ok line diverged: %q", got)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-doccheck", "-q", clean}, &out, &errb); code != 0 || out.Len() != 0 {
+		t.Errorf("-q clean dir: exit = %d, stdout = %q", code, out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-doccheck", filepath.Join(fixture, "no-such-dir")}, &out, &errb); code != 2 {
+		t.Errorf("bad dir: exit = %d, want 2", code)
+	}
+}
+
+// TestSuiteOnRepository runs the full multichecker over the module the
+// test binary lives in — the same invocation `make check` and CI use —
+// and requires it to be clean.
+func TestSuiteOnRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check in -short mode")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("qarvcheck ./... exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "qarvcheck: ok") {
+		t.Errorf("missing ok line: %q", out.String())
+	}
+}
+
+// TestSuiteSubtreePattern checks ./dir/... pattern resolution against a
+// single known-clean subtree.
+func TestSuiteSubtreePattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-q", filepath.Join("..", "..", "internal", "alloc")}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-q clean run printed: %q", out.String())
+	}
+}

@@ -267,7 +267,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		if err := tab.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -186,6 +186,17 @@ func (s *NoisyService) Name() string { return "noisy" }
 // drive every stochastic session component from one session seed.
 func (s *NoisyService) Reseed(rng *geom.RNG) { s.RNG = rng }
 
+// Clone returns a run-isolated copy: the RNG state is deep-copied, so
+// a cloned run never advances (or races) the original's stream.
+func (s *NoisyService) Clone() *NoisyService {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.RNG = s.RNG.Clone()
+	return &c
+}
+
 // ModulatedService multiplies an inner process's capacity by a
 // time-varying factor — the failure-injection hook (thermal throttling,
 // background contention) used by the robustness experiments and the

@@ -196,6 +196,7 @@ func RunContext(ctx context.Context, spec Spec) (*Report, error) {
 		cum[i] = total
 	}
 
+	//qarv:allow nondeterminism Elapsed is reporting-only bench metadata; no simulated state derives from it
 	start := time.Now()
 	accums := make([]*fleetAccum, nShards)
 	errs := make([]error, nShards)
@@ -243,6 +244,7 @@ func RunContext(ctx context.Context, spec Spec) (*Report, error) {
 			return nil, err
 		}
 	}
+	//qarv:allow nondeterminism Elapsed is reporting-only bench metadata; no simulated state derives from it
 	elapsed := time.Since(start)
 	return merged.report(&spec, nShards, elapsed), nil
 }

@@ -178,10 +178,18 @@ func (a *fleetAccum) profile(name string) *profileAccum {
 	return p
 }
 
-// merge folds another shard's accumulator into a.
+// merge folds another shard's accumulator into a, profile by profile
+// in name order — sketch merges are commutative, but a fixed order
+// keeps the first error (and any future order-sensitive accumulator)
+// deterministic across runs.
 func (a *fleetAccum) merge(o *fleetAccum) error {
-	for name, op := range o.profiles {
-		if err := a.profile(name).merge(op); err != nil {
+	names := make([]string, 0, len(o.profiles))
+	for name := range o.profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := a.profile(name).merge(o.profiles[name]); err != nil {
 			return fmt.Errorf("fleet: merging profile %q: %w", name, err)
 		}
 	}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxloopAnalyzer enforces the cancellation contract on slot loops:
+// every hot loop advancing simulated slots (the Lindley recursions in
+// sim, the shard/seat loops in fleet, the offload slot loop) must
+// thread cancellation — a queueing.CancelCheck poll, a direct
+// ctx.Err()/ctx.Done() check, or a call that passes the context or the
+// checker further down. A slot loop is recognized syntactically: a for
+// statement whose condition bounds the induction variable by something
+// named Slots (cfg.Slots, spec.Slots, ...) or whose induction variable
+// is itself named slot. Loops that are genuinely uncancellable by
+// design carry //qarv:allow ctxloop with the reason.
+var CtxloopAnalyzer = &Analyzer{
+	Name: "ctxloop",
+	Doc: "slot/shard loops (for ... < x.Slots, for slot < n) must thread queueing.CancelCheck " +
+		"or a context check so million-slot runs stay cancellable",
+	Run: runCtxloop,
+}
+
+// runCtxloop checks every slot loop in the package.
+func runCtxloop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || !isSlotLoop(loop) {
+				return true
+			}
+			if !threadsCancellation(pass, loop.Body) {
+				pass.Reportf(loop.Pos(), "slot loop neither polls queueing.CancelCheck nor checks a context; thread cancellation through it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSlotLoop reports whether loop looks like a slot/shard advance: its
+// condition's bound mentions an identifier or field named Slots, or
+// its induction variable is named slot.
+func isSlotLoop(loop *ast.ForStmt) bool {
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := cond.X.(*ast.Ident); ok && strings.EqualFold(id.Name, "slot") {
+		return true
+	}
+	mentionsSlots := false
+	ast.Inspect(cond.Y, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if x.Name == "Slots" || x.Name == "slots" {
+				mentionsSlots = true
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Slots" {
+				mentionsSlots = true
+			}
+		}
+		return !mentionsSlots
+	})
+	return mentionsSlots
+}
+
+// threadsCancellation reports whether body (searched recursively)
+// polls a CancelCheck, checks a context, or hands either to a callee.
+func threadsCancellation(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			recv := pass.Info.TypeOf(sel.X)
+			switch sel.Sel.Name {
+			case "Check":
+				if isCancelCheck(recv) {
+					found = true
+				}
+			case "Err", "Done", "Deadline", "Value":
+				if isContext(recv) {
+					found = true
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			t := pass.Info.TypeOf(arg)
+			if isContext(t) || isCancelCheck(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCancelCheck reports whether t is queueing.CancelCheck (possibly
+// behind a pointer).
+func isCancelCheck(t types.Type) bool {
+	return isNamedIn(t, "CancelCheck", "internal/queueing")
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isNamedIn reports whether t (possibly behind a pointer) is a named
+// type with the given name whose package path ends in pkgSuffix.
+func isNamedIn(t types.Type, name, pkgSuffix string) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxloopGolden(t *testing.T) {
+	runGolden(t, "ctxloop", []*Analyzer{CtxloopAnalyzer}, "qarv/internal/sim")
+}

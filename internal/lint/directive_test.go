@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllowDirectives pins the driver's //qarv:allow semantics on the
+// directive fixture: reasoned directives for the right analyzer
+// suppress same-line and next-line findings; a directive without a
+// reason, with an unknown analyzer, or with no analyzer at all is
+// itself a finding (from the unsuppressible "qarvallow"
+// pseudo-analyzer) and leaves the underlying finding alive; a
+// directive for the wrong analyzer suppresses nothing.
+func TestAllowDirectives(t *testing.T) {
+	loader := NewLoaderAt("qarv", filepath.Join("testdata", "directive", "src", "qarv"))
+	pkg, err := loader.Load("qarv/internal/sim")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{NondeterminismAnalyzer, CtxloopAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	type finding struct {
+		line     int
+		analyzer string
+	}
+	want := map[finding]string{
+		// missingReason: the bad directive plus the surviving finding.
+		{22, "qarvallow"}:      "carries no reason",
+		{23, "nondeterminism"}: "wall-clock read time.Now",
+		// unknownAnalyzer: typo-protection plus the surviving finding.
+		{28, "qarvallow"}:      `unknown analyzer "nondetreminism"`,
+		{29, "nondeterminism"}: "wall-clock read time.Now",
+		// bareDirective: no analyzer named, finding survives.
+		{34, "qarvallow"}:      "names no analyzer",
+		{35, "nondeterminism"}: "wall-clock read time.Now",
+		// wrongAnalyzer: a valid ctxloop allowance does not cover
+		// nondeterminism.
+		{41, "nondeterminism"}: "wall-clock read time.Now",
+	}
+	got := make(map[finding]string, len(diags))
+	for _, d := range diags {
+		got[finding{d.Pos.Line, d.Analyzer}] = d.Message
+	}
+	for f, substr := range want {
+		msg, ok := got[f]
+		if !ok {
+			t.Errorf("missing expected finding at line %d (%s)", f.line, f.analyzer)
+			continue
+		}
+		if !strings.Contains(msg, substr) {
+			t.Errorf("finding at line %d (%s) = %q, want substring %q", f.line, f.analyzer, msg, substr)
+		}
+	}
+	for f, msg := range got {
+		if _, ok := want[f]; !ok {
+			t.Errorf("unexpected finding at line %d (%s): %q — suppression failed?", f.line, f.analyzer, msg)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrstyleAnalyzer enforces the repository's two error conventions.
+// First, sentinel errors (package-level `var ErrFoo = errors.New(...)`)
+// are part of the public contract — callers match them with
+// errors.Is — so passing one to fmt.Errorf without %w severs the chain
+// and silently breaks every errors.Is caller. Second, an error-
+// returning call whose result is discarded outright (a bare expression
+// statement) hides failures; discarding must be explicit (`_ = f()`)
+// so the reader sees the decision. Best-effort output (the fmt print
+// family, bytes.Buffer/strings.Builder writers) and deferred cleanup
+// calls are exempt.
+var ErrstyleAnalyzer = &Analyzer{
+	Name: "errstyle",
+	Doc: "wrap Err... sentinels with %w in fmt.Errorf, and never discard an error " +
+		"implicitly — assign to _ when dropping one on purpose",
+	Run: runErrstyle,
+}
+
+// runErrstyle applies both error-style checks to one package.
+func runErrstyle(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkSentinelWrap(pass, x)
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call)
+				}
+			case *ast.DeferStmt, *ast.GoStmt:
+				// Deferred cleanup (f.Close()) and fire-and-forget
+				// goroutines are established idioms; their error
+				// handling is the reviewer's call.
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelWrap flags fmt.Errorf calls that pass an Err* sentinel
+// without a %w verb in a literal format string.
+func checkSentinelWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	if !isPkgFunc(pass, sel, "fmt", "Errorf") {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	if strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := sentinelName(pass, arg); name != "" {
+			pass.Reportf(call.Pos(), "sentinel %s passed to fmt.Errorf without %%w; callers lose errors.Is matching", name)
+			return
+		}
+	}
+}
+
+// sentinelName returns the name of a package-level error sentinel
+// (an exported or unexported variable named Err*/err* of an error
+// type) referenced by expr, or "".
+func sentinelName(pass *Pass, expr ast.Expr) string {
+	var id *ast.Ident
+	switch x := expr.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return ""
+	}
+	name := obj.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return ""
+	}
+	// Package-level only: local error variables are not sentinels.
+	if obj.Parent() == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorType(obj.Type()) {
+		return ""
+	}
+	return name
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+// checkDiscardedError flags a bare call statement whose result set
+// includes an error.
+func checkDiscardedError(pass *Pass, call *ast.CallExpr) {
+	if isBestEffortOutput(pass, call) {
+		return
+	}
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	switch r := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < r.Len(); i++ {
+			if isErrorType(r.At(i).Type()) {
+				pass.Reportf(call.Pos(), "call discards its error result; handle it or assign to _ explicitly")
+				return
+			}
+		}
+	default:
+		if isErrorType(t) {
+			pass.Reportf(call.Pos(), "call discards its error result; handle it or assign to _ explicitly")
+		}
+	}
+}
+
+// isBestEffortOutput exempts the fmt print family and never-failing
+// in-memory writers (bytes.Buffer, strings.Builder) from the
+// discarded-error check.
+func isBestEffortOutput(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			return true
+		}
+	}
+	recv := pass.Info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if named, ok := deref(recv).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "bytes.Buffer", "strings.Builder":
+				return true
+			}
+		}
+	}
+	return false
+}

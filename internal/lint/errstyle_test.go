@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrstyleGolden(t *testing.T) {
+	runGolden(t, "errstyle", []*Analyzer{ErrstyleAnalyzer}, "qarv/internal/alloc")
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantExp is one `// want "regexp"` expectation during a golden run.
+type wantExp struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// runGolden is the suite's analysistest: it loads the testdata module
+// under testdata/<name>/src/qarv using the real module path (so
+// package-path-sensitive rules like IsDeterministic fire exactly as
+// they do on the repository), runs the given analyzers through the
+// full driver (including //qarv:allow filtering), and checks the
+// diagnostics against `// want "regexp"` comments: every want must be
+// matched by a same-line diagnostic, and every diagnostic must be
+// wanted.
+func runGolden(t *testing.T, name string, analyzers []*Analyzer, pkgPaths ...string) {
+	t.Helper()
+	dir := filepath.Join("testdata", name, "src", "qarv")
+	loader := NewLoaderAt("qarv", dir)
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	wants := make(map[string][]*wantExp) // "file:line" → expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg, f, wants)
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", key, d.Message, d.Analyzer)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matching %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// wantRE extracts the quoted expectations from a `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses a file's want comments into the expectation map.
+func collectWants(t *testing.T, pkg *Package, f *ast.File, wants map[string][]*wantExp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+				}
+				wants[key] = append(wants[key], &wantExp{re: re, raw: m[1]})
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestModulePath(t *testing.T) {
+	dir := t.TempDir()
+	gomod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(gomod, []byte("module qarv\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := modulePath(gomod)
+	if err != nil {
+		t.Fatalf("modulePath: %v", err)
+	}
+	if got != "qarv" {
+		t.Errorf("modulePath = %q, want %q", got, "qarv")
+	}
+	if err := os.WriteFile(gomod, []byte("// nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modulePath(gomod); !errors.Is(err, ErrNoGoMod) {
+		t.Errorf("modulePath on empty file: err = %v, want ErrNoGoMod", err)
+	}
+}
+
+// TestLoadRealModule type-checks two real repository packages through
+// the loader — one pure-stdlib (queueing), one with module-internal
+// imports (alloc) — and runs the full suite over them expecting zero
+// findings, the same contract `make check` enforces tree-wide.
+func TestLoadRealModule(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModulePath != "qarv" {
+		t.Fatalf("ModulePath = %q, want qarv", loader.ModulePath)
+	}
+	var pkgs []*Package
+	for _, path := range []string{"qarv/internal/queueing", "qarv/internal/alloc"} {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		if len(pkg.Files) == 0 || pkg.Types == nil {
+			t.Fatalf("load %s: empty package", path)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestLoadAllSkipsTestdata ensures the walker sees the same package
+// universe as `go list ./...`: fixture trees under testdata must not
+// load (they contain deliberate contract violations).
+func TestLoadAllSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 30 {
+		t.Errorf("LoadAll found only %d packages; the module has ~40", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("LoadAll loaded fixture package %s", pkg.Path)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	loader := NewLoaderAt("qarv", filepath.Join("testdata", "directive", "src", "qarv"))
+	pkg, err := loader.Load("qarv/internal/sim")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{NondeterminismAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected findings from the directive fixture")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "directive.go:") || !strings.HasSuffix(s, "(qarvallow)") && !strings.HasSuffix(s, "(nondeterminism)") {
+		t.Errorf("diagnostic format unexpected: %q", s)
+	}
+}

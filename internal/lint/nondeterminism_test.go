@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestNondeterminismGolden(t *testing.T) {
+	runGolden(t, "nondeterminism", []*Analyzer{NondeterminismAnalyzer},
+		"qarv/internal/sim", "qarv/internal/stream")
+}
+
+func TestIsDeterministic(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"qarv/internal/sim", true},
+		{"qarv/internal/fleet", true},
+		{"qarv/internal/experiments", true},
+		{"qarv/internal/queueing", true},
+		{"qarv/internal/netem", true},
+		{"qarv/internal/policy", true},
+		{"qarv/internal/alloc", true},
+		{"qarv/internal/stats", true},
+		{"qarv/internal/stream", false},
+		{"qarv/internal/lint", false},
+		{"qarv", false},
+		{"qarv/cmd/qarvsim", false},
+		{"example.com/other/internal/sim", true}, // suffix-matched, module-agnostic
+	}
+	for _, c := range cases {
+		if got := IsDeterministic(c.path); got != c.want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReseedCloneAnalyzer enforces the run-isolation contract on stochastic
+// components: any named struct holding a *geom.RNG field owns mutable
+// random state, so a Session run must be able to (a) re-derive that
+// state from the run seed (Reseed) and (b) take an independent deep
+// copy so concurrent runs never share a generator (Clone). A struct
+// with the field but only half the contract is exactly how isolation
+// rots — a new component gets Reseed for determinism, skips Clone, and
+// the first concurrent sweep corrupts both runs' streams. Types whose
+// RNG is deliberately run-scoped (constructed fresh inside the run and
+// never reused) carry //qarv:allow reseedclone with that reason.
+var ReseedCloneAnalyzer = &Analyzer{
+	Name: "reseedclone",
+	Doc: "structs holding *geom.RNG must implement both Reseed(*geom.RNG) and Clone " +
+		"so per-run reseeding and run isolation cannot drift apart",
+	Run: runReseedClone,
+}
+
+// runReseedClone checks every named struct type in the package.
+func runReseedClone(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok || obj.IsAlias() {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok || !holdsRNG(st) {
+					continue
+				}
+				missing := missingContract(named)
+				if missing != "" {
+					pass.Reportf(ts.Pos(), "%s holds *geom.RNG but lacks %s; implement the full Reseed/Clone run-isolation contract", ts.Name.Name, missing)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// holdsRNG reports whether the struct has a direct field of type
+// *geom.RNG.
+func holdsRNG(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if isNamedIn(st.Field(i).Type(), "RNG", "internal/geom") {
+			return true
+		}
+	}
+	return false
+}
+
+// missingContract names the missing half(s) of the Reseed/Clone
+// contract on *T, or returns "" when both are present (directly or
+// promoted).
+func missingContract(named *types.Named) string {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	hasReseed := ms.Lookup(nil, "Reseed") != nil || lookupAnyPkg(ms, "Reseed")
+	hasClone := ms.Lookup(nil, "Clone") != nil || lookupAnyPkg(ms, "Clone")
+	switch {
+	case !hasReseed && !hasClone:
+		return "Reseed and Clone"
+	case !hasReseed:
+		return "Reseed"
+	case !hasClone:
+		return "Clone"
+	}
+	return ""
+}
+
+// lookupAnyPkg finds an exported method by name regardless of the
+// querying package (Lookup(nil, ...) only sees exported names, which
+// is what the contract methods are; this helper keeps the intent
+// explicit if an unexported Reseed ever appears).
+func lookupAnyPkg(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestReseedCloneGolden(t *testing.T) {
+	runGolden(t, "reseedclone", []*Analyzer{ReseedCloneAnalyzer}, "qarv/internal/policy")
+}

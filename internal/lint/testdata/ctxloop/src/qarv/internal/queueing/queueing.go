@@ -1,0 +1,22 @@
+// Package queueing is the ctxloop golden fixture's stand-in for the
+// real qarv/internal/queueing: the analyzer matches CancelCheck by
+// name and package suffix, so this stub exercises the same code path.
+package queueing
+
+import "context"
+
+// CancelCheck mirrors the real amortized context poller.
+type CancelCheck struct {
+	ctx context.Context
+}
+
+// NewCancelCheck mirrors the real constructor.
+func NewCancelCheck(ctx context.Context, every int) *CancelCheck {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &CancelCheck{ctx: ctx}
+}
+
+// Check mirrors the real poll.
+func (c *CancelCheck) Check() error { return c.ctx.Err() }

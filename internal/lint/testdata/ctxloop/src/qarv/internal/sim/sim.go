@@ -1,0 +1,107 @@
+// Package sim is the ctxloop golden fixture.
+package sim
+
+import (
+	"context"
+
+	"qarv/internal/queueing"
+)
+
+// Config carries the slot horizon.
+type Config struct{ Slots int }
+
+// The canonical pattern: poll the amortized checker every slot.
+func runChecked(ctx context.Context, cfg Config) error {
+	cancel := queueing.NewCancelCheck(ctx, 0)
+	for t := 0; t < cfg.Slots; t++ {
+		if err := cancel.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Direct ctx.Err polling is fine too.
+func runCtxErr(ctx context.Context, cfg Config) error {
+	for t := 0; t < cfg.Slots; t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Select on ctx.Done counts as a context check.
+func runDone(ctx context.Context, cfg Config) error {
+	for t := 0; t < cfg.Slots; t++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// Threading the context into the per-slot callee counts: the callee
+// owns the cancellation check.
+func runThreaded(ctx context.Context, cfg Config) {
+	for t := 0; t < cfg.Slots; t++ {
+		step(ctx, t)
+	}
+}
+
+func step(ctx context.Context, t int) {}
+
+// Handing the checker down counts the same way.
+func runCheckerThreaded(ctx context.Context, cfg Config) {
+	cancel := queueing.NewCancelCheck(ctx, 0)
+	for t := 0; t < cfg.Slots; t++ {
+		stepChecked(cancel, t)
+	}
+}
+
+func stepChecked(c *queueing.CancelCheck, t int) {}
+
+// A slot loop with no cancellation path is the finding.
+func runUncancellable(cfg Config) int {
+	total := 0
+	for t := 0; t < cfg.Slots; t++ { // want "slot loop neither polls queueing.CancelCheck nor checks a context"
+		total += t
+	}
+	return total
+}
+
+// The fleet shape: induction variable named slot, condition-only for.
+func runSeat(n int) int {
+	total := 0
+	slot := 0
+	for slot < n { // want "slot loop neither polls queueing.CancelCheck nor checks a context"
+		total += slot
+		slot++
+	}
+	return total
+}
+
+// The poll may live in a nested loop (fleet polls per seat inside the
+// shard's slot loop).
+func runNested(ctx context.Context, cfg Config, seats int) error {
+	cancel := queueing.NewCancelCheck(ctx, 0)
+	for t := 0; t < cfg.Slots; t++ {
+		for s := 0; s < seats; s++ {
+			if err := cancel.Check(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// An ordinary counting loop is not a slot loop.
+func sum(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}

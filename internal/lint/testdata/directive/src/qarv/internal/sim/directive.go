@@ -1,0 +1,42 @@
+// Package sim is the //qarv:allow directive fixture; the expected
+// findings live in directive_test.go (a want comment cannot share a
+// line with the directive it asserts about).
+package sim
+
+import "time"
+
+// A reasoned allow on the offending line suppresses the finding.
+func allowedSameLine() time.Time {
+	return time.Now() //qarv:allow nondeterminism fixture: wall-clock by design
+}
+
+// A reasoned allow on the line above suppresses too.
+func allowedLineAbove() time.Time {
+	//qarv:allow nondeterminism fixture: wall-clock by design
+	return time.Now()
+}
+
+// No reason: the allowance is itself a finding and the underlying
+// finding survives.
+func missingReason() time.Time {
+	//qarv:allow nondeterminism
+	return time.Now()
+}
+
+// Unknown analyzer: a typo cannot silently disable nothing.
+func unknownAnalyzer() time.Time {
+	//qarv:allow nondetreminism fixture: typo in the analyzer name
+	return time.Now()
+}
+
+// No analyzer at all.
+func bareDirective() time.Time {
+	//qarv:allow
+	return time.Now()
+}
+
+// An allowance for one analyzer does not cover another's finding.
+func wrongAnalyzer() time.Time {
+	//qarv:allow ctxloop fixture: aimed at the wrong analyzer
+	return time.Now()
+}

@@ -1,0 +1,39 @@
+// Package render is the doccheck golden fixture; the expected findings
+// live in doccheck_test.go (trailing want comments would themselves
+// count as doc comments on value specs).
+package render
+
+// Documented is documented.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// Grouped constants: the block comment documents every spec.
+const (
+	A = 1
+	B = 2
+)
+
+var V = 3
+
+// DocumentedFunc is documented.
+func DocumentedFunc() {}
+
+func UndocumentedFunc() {}
+
+type hidden struct{}
+
+// Exported methods on unexported types are not godoc surface.
+func (h hidden) Exported() {}
+
+// M is documented.
+func (d Documented) M() {}
+
+func (d Documented) N() {}
+
+var (
+	// W is documented by its own line.
+	W = 4
+	X = 5 // X is documented by an inline comment.
+	Y = 6
+)

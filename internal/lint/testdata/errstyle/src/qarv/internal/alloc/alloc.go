@@ -1,0 +1,76 @@
+// Package alloc is the errstyle golden fixture.
+package alloc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ErrBadShare is an exported sentinel: callers match it with errors.Is.
+var ErrBadShare = errors.New("alloc: bad share")
+
+// errInternal is an unexported sentinel; the wrap contract applies to
+// it just the same.
+var errInternal = errors.New("alloc: internal")
+
+// Wrapping a sentinel with %w preserves the errors.Is chain: clean.
+func validateGood(v int) error {
+	if v < 0 {
+		return fmt.Errorf("%w: %d", ErrBadShare, v)
+	}
+	return nil
+}
+
+// Flattening a sentinel with %v severs the chain.
+func validateBad(v int) error {
+	if v < 0 {
+		return fmt.Errorf("%v: %d", ErrBadShare, v) // want "sentinel ErrBadShare passed to fmt.Errorf without %w"
+	}
+	return nil
+}
+
+// The rule sees selector references to other packages' sentinels too.
+func wrapStd(path string) error {
+	return fmt.Errorf("open %s: %v", path, os.ErrNotExist) // want "sentinel ErrNotExist passed to fmt.Errorf without %w"
+}
+
+// Unexported sentinels get the same protection.
+func wrapUnexported() error {
+	return fmt.Errorf("context: %v", errInternal) // want "sentinel errInternal passed to fmt.Errorf without %w"
+}
+
+// A local variable named err is not a sentinel.
+func localErr() error {
+	err := errors.New("transient")
+	return fmt.Errorf("wrap: %v", err)
+}
+
+// Discarding an error implicitly hides failures.
+func removeQuiet(path string) {
+	os.Remove(path) // want "call discards its error result"
+}
+
+// Multi-result calls are covered too.
+func openQuiet(path string) {
+	os.Open(path) // want "call discards its error result"
+}
+
+// Explicit discard states the decision: clean.
+func removeExplicit(path string) {
+	_ = os.Remove(path)
+}
+
+// Best-effort output and never-failing in-memory writers are exempt.
+func output(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("done")
+	buf.WriteString("ok")
+	sb.WriteString("ok")
+}
+
+// Deferred cleanup is the reviewer's call, not the analyzer's.
+func deferred(f *os.File) {
+	defer f.Close()
+}

@@ -1,0 +1,120 @@
+// Package sim is the nondeterminism golden fixture for a package
+// inside the deterministic set (strict rules apply).
+package sim
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand breaks seed reproducibility"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "wall-clock read time.Now"
+}
+
+func sinceStart(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func legacyRand() int { return rand.Int() }
+
+// Ordered output from a map without a sort: the classic leak.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration appends to \"keys\" without a subsequent sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Collect-then-sort is the sanctioned pattern.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice through a closure referencing the collected slice counts
+// as the redeeming sort too.
+func keysSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Nested map-range feeding a slice that is sorted afterwards is clean:
+// both the outer and the inner range are redeemed by the sort.
+func nestedSorted(groups map[string]map[string]int) []string {
+	var all []string
+	for _, inner := range groups {
+		for k := range inner {
+			all = append(all, k)
+		}
+	}
+	sort.Strings(all)
+	return all
+}
+
+// Order-insensitive accumulation is clean (float bit-drift is the
+// reviewer's problem, not this analyzer's).
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Map-to-map rewrites carry no order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// A slice created inside the loop is per-iteration state, not ordered
+// output.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Formatting inside a map range feeds output in iteration order.
+func describe(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want "map iteration .* in iteration order"
+		b.WriteString(fmt.Sprintf("%s=%d;", k, v))
+	}
+	return b.String()
+}
+
+// String concatenation accumulates in iteration order.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration concatenates strings in iteration order"
+		s += k
+	}
+	return s
+}
+
+// Channel sends publish in iteration order.
+func emit(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration sends on a channel in iteration order"
+		ch <- k
+	}
+}

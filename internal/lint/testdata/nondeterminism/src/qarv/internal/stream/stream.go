@@ -1,0 +1,20 @@
+// Package stream is the nondeterminism golden fixture for a package
+// outside the deterministic set: wall-clock reads and math/rand are
+// still findings (real sites carry //qarv:allow), but the map-order
+// rules do not apply.
+package stream
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// Map iteration rules apply only inside the deterministic packages.
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

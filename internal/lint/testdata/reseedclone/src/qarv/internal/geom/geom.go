@@ -1,0 +1,19 @@
+// Package geom is the reseedclone golden fixture's stand-in for the
+// real qarv/internal/geom: the analyzer matches *geom.RNG fields by
+// name and package suffix.
+package geom
+
+// RNG mirrors the real deterministic generator.
+type RNG struct{ state uint64 }
+
+// NewRNG mirrors the real constructor.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Clone mirrors the real deep copy.
+func (r *RNG) Clone() *RNG {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	return &c
+}

@@ -1,0 +1,69 @@
+// Package policy is the reseedclone golden fixture.
+package policy
+
+import "qarv/internal/geom"
+
+// Full carries both halves of the contract: clean.
+type Full struct {
+	rng *geom.RNG
+}
+
+// Reseed implements the per-run reseeding half.
+func (f *Full) Reseed(rng *geom.RNG) { f.rng = rng }
+
+// Clone implements the run-isolation half.
+func (f *Full) Clone() *Full {
+	c := *f
+	c.rng = f.rng.Clone()
+	return &c
+}
+
+// HalfReseed reseeds but cannot be isolated: the rot the analyzer
+// exists to catch.
+type HalfReseed struct { // want "HalfReseed holds \*geom.RNG but lacks Clone"
+	RNG *geom.RNG
+}
+
+// Reseed implements half the contract.
+func (h *HalfReseed) Reseed(rng *geom.RNG) { h.RNG = rng }
+
+// HalfClone isolates but cannot be reseeded.
+type HalfClone struct { // want "HalfClone holds \*geom.RNG but lacks Reseed"
+	RNG *geom.RNG
+}
+
+// Clone implements half the contract.
+func (h *HalfClone) Clone() *HalfClone {
+	c := *h
+	return &c
+}
+
+// Naked holds random state with neither half.
+type Naked struct { // want "Naked holds \*geom.RNG but lacks Reseed and Clone"
+	RNG *geom.RNG
+}
+
+// Plain has no RNG: the contract does not apply, a lone Clone is fine.
+type Plain struct {
+	Depth int
+}
+
+// Clone is an ordinary deep copy, no contract implied.
+func (p *Plain) Clone() *Plain {
+	c := *p
+	return &c
+}
+
+// Wrapped satisfies the contract through promoted methods.
+type Wrapped struct {
+	Full
+	rng *geom.RNG
+}
+
+// RunScoped's generator is constructed fresh inside each run, so the
+// contract is waived with a reasoned directive.
+//
+//qarv:allow reseedclone run-scoped: constructed fresh per run, never shared
+type RunScoped struct {
+	rng *geom.RNG
+}

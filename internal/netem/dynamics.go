@@ -183,6 +183,18 @@ func (m *MarkovBandwidth) Reseed(rng *geom.RNG) {
 	m.init = false
 }
 
+// Clone returns a run-isolated copy: chain position and RNG state are
+// deep-copied, so a cloned run never advances the original's stream.
+// CloneProcess delegates here.
+func (m *MarkovBandwidth) Clone() *MarkovBandwidth {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.RNG = m.RNG.Clone()
+	return &c
+}
+
 // ---------------------------------------------------------------------------
 // TraceBandwidth
 // ---------------------------------------------------------------------------
@@ -426,6 +438,19 @@ func (h *HandoffBandwidth) Reseed(rng *geom.RNG) {
 	}
 }
 
+// Clone returns a run-isolated copy: handoff schedule, cell scale, RNG
+// state, and the Base process are all deep-copied, so a cloned run
+// never advances the original's streams. CloneProcess delegates here.
+func (h *HandoffBandwidth) Clone() *HandoffBandwidth {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.RNG = h.RNG.Clone()
+	c.Base = CloneProcess(h.Base)
+	return &c
+}
+
 // ---------------------------------------------------------------------------
 // LinkDynamics
 // ---------------------------------------------------------------------------
@@ -501,11 +526,13 @@ func (d *LinkDynamics) Clone() *LinkDynamics {
 }
 
 // CloneProcess deep-copies a bandwidth process so per-run state never
-// leaks between runs. The built-in processes copy by value (trace
-// points are immutable and stay shared); a custom process is copied
-// through its CloneProcess method when it has one, and otherwise
-// returned as-is — such a process is then shared between runs, so its
-// owner must not run it concurrently.
+// leaks between runs. The stochastic built-ins (MarkovBandwidth,
+// HandoffBandwidth) delegate to their Clone methods, which deep-copy
+// RNG state too; the stateless ones copy by value (trace points are
+// immutable and stay shared). A custom process is copied through its
+// CloneProcess method when it has one, and otherwise returned as-is —
+// such a process is then shared between runs, so its owner must not
+// run it concurrently.
 func CloneProcess(p BandwidthProcess) BandwidthProcess {
 	switch x := p.(type) {
 	case nil:
@@ -514,15 +541,12 @@ func CloneProcess(p BandwidthProcess) BandwidthProcess {
 		c := *x
 		return &c
 	case *MarkovBandwidth:
-		c := *x
-		return &c
+		return x.Clone()
 	case *TraceBandwidth:
 		c := *x
 		return &c
 	case *HandoffBandwidth:
-		c := *x
-		c.Base = CloneProcess(x.Base)
-		return &c
+		return x.Clone()
 	default:
 		if cl, ok := p.(interface{ CloneProcess() BandwidthProcess }); ok {
 			return cl.CloneProcess()

@@ -357,7 +357,7 @@ func TestOutageDelaysFutureEnqueuesUnderStandingQueue(t *testing.T) {
 		l := mustLink(t, LinkConfig{BytesPerSlot: 100})
 		tb, err := NewTraceBandwidth([]TracePoint{
 			{Slot: 0, BytesPerSlot: 100},
-			{Slot: 5, BytesPerSlot: 0},  // outage slots 5..14
+			{Slot: 5, BytesPerSlot: 0}, // outage slots 5..14
 			{Slot: 15, BytesPerSlot: 100},
 		}, 0)
 		if err != nil {

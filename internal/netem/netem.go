@@ -77,6 +77,24 @@ func NewLink(cfg LinkConfig) (*Link, error) {
 	return &Link{cfg: cfg, rng: geom.NewRNG(cfg.Seed ^ 0x6e65746d)}, nil
 }
 
+// Reseed replaces the RNG driving jitter and loss — the standard
+// per-run reseeding hook, so a reused Link can be re-derived from a
+// run seed instead of continuing its construction-seeded stream.
+func (l *Link) Reseed(rng *geom.RNG) { l.rng = rng }
+
+// Clone returns a run-isolated copy: counters, the busy horizon, the
+// pending-transmission schedule, and the RNG state are all deep-copied,
+// so a cloned run never advances (or races) the original's stream.
+func (l *Link) Clone() *Link {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.rng = l.rng.Clone()
+	c.pending = append([]pendingTx(nil), l.pending...)
+	return &c
+}
+
 // Transmission is the outcome of one Transmit call.
 type Transmission struct {
 	// Dropped is true when the link lost the frame (no delivery).

@@ -42,9 +42,11 @@ func (o *Octree) SerializeRefinement(w io.Writer, from, to int) error {
 		return err
 	}
 	bw := &byteWriter{w: w}
-	o.ForEachNode(from, func(n Node) {
+	if err := o.ForEachNode(from, func(n Node) {
 		o.serializeNode(bw, n.Start, n.End, from, to)
-	})
+	}); err != nil {
+		return err
+	}
 	return bw.err
 }
 

@@ -1,0 +1,63 @@
+package ply
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPLYDecode throws arbitrary bytes at Read. The decoder must never
+// panic and never allocate unboundedly from hostile headers (declared
+// element counts and binary list counts are attacker-controlled); on a
+// successful decode the file must satisfy its own header — every
+// declared column present with exactly Count rows — and survive a
+// Write round trip.
+func FuzzPLYDecode(f *testing.F) {
+	f.Add([]byte("ply\nformat ascii 1.0\nelement vertex 2\nproperty float x\nproperty float y\nend_header\n0 0\n1 0.5\n"))
+	f.Add([]byte("ply\nformat ascii 1.0\ncomment tiny face mesh\nelement vertex 3\nproperty float x\nelement face 1\nproperty list uchar int vertex_indices\nend_header\n0\n1\n2\n3 0 1 2\n"))
+	f.Add([]byte("ply\r\nformat binary_little_endian 1.0\r\nelement vertex 1\r\nproperty float x\r\nend_header\r\n\x00\x00\x80?"))
+	f.Add([]byte("ply\nformat binary_big_endian 1.0\nelement v 1\nproperty list uint float vals\nend_header\n\x00\x00\x00\x02?\x80\x00\x00@\x00\x00\x00"))
+	// Hostile declarations: billions of rows, a 2^32-entry binary list.
+	f.Add([]byte("ply\nformat ascii 1.0\nelement vertex 2000000000\nproperty float x\nend_header\n1\n"))
+	f.Add([]byte("ply\nformat binary_little_endian 1.0\nelement v 1\nproperty list uint float vals\nend_header\n\xff\xff\xff\xff"))
+	f.Add([]byte("ply\nformat ascii 1.0\nend_header\n"))
+	f.Add([]byte("not a ply file"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pf, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if pf != nil {
+				t.Fatalf("Read returned non-nil file alongside error %v", err)
+			}
+			return
+		}
+		for _, elem := range pf.Header.Elements {
+			for _, p := range elem.Properties {
+				if p.IsList {
+					if got := len(pf.Lists[elem.Name][p.Name]); got != elem.Count {
+						t.Fatalf("element %q list %q: %d rows, header declares %d", elem.Name, p.Name, got, elem.Count)
+					}
+				} else if got := len(pf.Scalars[elem.Name][p.Name]); got != elem.Count {
+					t.Fatalf("element %q property %q: %d rows, header declares %d", elem.Name, p.Name, got, elem.Count)
+				}
+			}
+		}
+		// A decoded file is complete by construction, so it must encode.
+		if err := Write(&bytes.Buffer{}, pf); err != nil {
+			t.Fatalf("Write of decoded file failed: %v", err)
+		}
+	})
+}
+
+// FuzzHeaderParse narrows the mutator onto the header grammar, where
+// most of the parsing branches live.
+func FuzzHeaderParse(f *testing.F) {
+	f.Add("ply\nformat ascii 1.0\nelement vertex 0\nproperty float x\nend_header\n")
+	f.Add("ply\nformat binary_little_endian 1.0\ncomment c\nobj_info o\nelement e 1\nproperty list uchar float l\nend_header\n")
+	f.Add("ply\nformat ascii 1.0\nproperty float orphan\nend_header\n")
+	f.Add("ply\nelement vertex 1\nend_header\n")
+	f.Fuzz(func(t *testing.T, header string) {
+		_, err := Read(strings.NewReader(header))
+		_ = err
+	})
+}

@@ -204,6 +204,13 @@ func parseHeader(r *bufio.Reader) (*Header, error) {
 			if err != nil || count < 0 {
 				return nil, fmt.Errorf("%w: element count %q", ErrBadHeader, fields[2])
 			}
+			// Columns are keyed by element name, so a duplicate would
+			// silently alias the first element's data.
+			for _, e := range h.Elements {
+				if e.Name == fields[1] {
+					return nil, fmt.Errorf("%w: duplicate element %q", ErrBadHeader, fields[1])
+				}
+			}
 			h.Elements = append(h.Elements, Element{Name: fields[1], Count: count})
 			current = &h.Elements[len(h.Elements)-1]
 		case "property":
@@ -213,6 +220,13 @@ func parseHeader(r *bufio.Reader) (*Header, error) {
 			prop, err := parseProperty(fields)
 			if err != nil {
 				return nil, err
+			}
+			// Same aliasing hazard as elements: columns are keyed by
+			// property name within the element.
+			for _, p := range current.Properties {
+				if p.Name == prop.Name {
+					return nil, fmt.Errorf("%w: duplicate property %q in element %q", ErrBadHeader, prop.Name, current.Name)
+				}
 			}
 			current.Properties = append(current.Properties, prop)
 		case "end_header":

@@ -36,11 +36,13 @@ func Read(r io.Reader) (*File, error) {
 	}
 	for _, elem := range h.Elements {
 		// Cap the capacity hint: a hostile header can declare billions of
-		// rows, and the allocation must not outrun the actual body (decode
-		// fails fast on truncation either way).
+		// rows across many properties, and the pre-allocation must not
+		// outrun the actual body (decode fails fast on truncation either
+		// way). The budget is per element, shared across its columns;
+		// genuine large clouds grow past it by amortized append.
 		capHint := elem.Count
-		if capHint > 1<<20 {
-			capHint = 1 << 20
+		if max := (1 << 20) / (len(elem.Properties) + 1); capHint > max {
+			capHint = max
 		}
 		f.Scalars[elem.Name] = make(map[string][]float64, len(elem.Properties))
 		for _, p := range elem.Properties {
@@ -144,13 +146,22 @@ func readBinaryElement(br *bufio.Reader, f *File, elem Element, order binary.Byt
 				if n < 0 {
 					return fmt.Errorf("row %d: negative list count", row)
 				}
-				vals := make([]float64, n)
+				// Grow by append under a capped initial capacity: the
+				// count is attacker-controlled (a 4-byte uint32 can claim
+				// 2^32 entries), but every appended value consumes at
+				// least one input byte, so memory stays bounded by the
+				// actual input and truncation fails fast.
+				capN := n
+				if capN > 1<<12 {
+					capN = 1 << 12
+				}
+				vals := make([]float64, 0, capN)
 				for i := 0; i < n; i++ {
 					v, err := readScalar(br, p.Type, order, buf)
 					if err != nil {
 						return fmt.Errorf("row %d list value: %w", row, ErrTruncated)
 					}
-					vals[i] = v
+					vals = append(vals, v)
 				}
 				f.Lists[elem.Name][p.Name] = append(f.Lists[elem.Name][p.Name], vals)
 				continue

@@ -144,6 +144,7 @@ func (s *Server) handle(conn net.Conn) {
 		defer close(watcherDone)
 		select {
 		case <-s.stop:
+			//qarv:allow nondeterminism immediate deadline is the idiomatic way to unblock a live socket read
 			conn.SetDeadline(time.Now())
 		case <-done:
 		}
@@ -155,6 +156,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	var served uint64
 	var debt time.Duration // processing time owed by pacing
+	//qarv:allow nondeterminism service pacing on a live connection is wall-clock by design
 	lastPace := time.Now()
 	for {
 		frame, _, err := ReadMessage(conn)
@@ -176,10 +178,12 @@ func (s *Server) handle(conn net.Conn) {
 		// sleep it off, so acknowledgements reflect real service capacity.
 		if s.cfg.BytesPerSecond > 0 {
 			debt += time.Duration(float64(len(frame.Payload)) / s.cfg.BytesPerSecond * float64(time.Second))
+			//qarv:allow nondeterminism service pacing on a live connection is wall-clock by design
 			elapsed := time.Since(lastPace)
 			if debt > elapsed {
 				time.Sleep(debt - elapsed)
 			}
+			//qarv:allow nondeterminism service pacing on a live connection is wall-clock by design
 			now := time.Now()
 			debt -= now.Sub(lastPace)
 			if debt < 0 {
