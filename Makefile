@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check doccheck fuzz-smoke bench bench-fleet sweep-smoke examples clean
+.PHONY: all build test race vet check doccheck fuzz-smoke bench bench-fleet bench-content sweep-smoke examples clean
 
 all: vet check build test
 
@@ -53,6 +53,13 @@ bench: bench-fleet
 bench-fleet:
 	$(GO) run ./cmd/qarvfleet -n 20000 -slots 500 -churn 0.001 -json > BENCH_fleet.json
 
+# bench-content records the content pipeline's timings (octree build,
+# PLY decode, stream-size ladder, full profile build) into the bench
+# history artifact BENCH_content.json. BENCHTIME=1x makes it a smoke.
+BENCHTIME ?= 1s
+bench-content:
+	$(GO) run ./cmd/qarvbench -benchtime $(BENCHTIME) > BENCH_content.json
+
 # sweep-smoke drives a tiny 2×2 grid end to end through cmd/qarvsweep
 # (fleet backend, JSON report) — the sweep engine's CLI smoke test.
 sweep-smoke:
@@ -70,6 +77,7 @@ examples:
 	$(GO) run ./examples/fleet
 	$(GO) run ./examples/networks
 	$(GO) run ./examples/sweep
+	$(GO) run ./examples/content
 
 clean:
 	$(GO) clean ./...

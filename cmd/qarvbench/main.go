@@ -1,0 +1,146 @@
+// Command qarvbench records the content pipeline's benchmark artifact:
+// it drives the four content-path benchmarks (octree build, PLY decode,
+// stream-size ladder, full content-profile build) through
+// testing.Benchmark and writes the results as JSON — the
+// BENCH_content.json history artifact, companion to qarvfleet's
+// BENCH_fleet.json.
+//
+// Usage:
+//
+//	qarvbench [-samples N] [-benchtime D] [-json]
+//
+// Output goes to stdout; `make bench-content` redirects it into
+// BENCH_content.json. -benchtime takes the testing package's syntax
+// ("1s", "100x") — CI smokes use 1x, history runs the 1s default.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"qarv/internal/content"
+	"qarv/internal/octree"
+	"qarv/internal/ply"
+	"qarv/internal/pointcloud"
+	"qarv/internal/synthetic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qarvbench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchRow is one benchmark's record in the JSON artifact.
+type benchRow struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func run(args []string, out io.Writer) error {
+	testing.Init()
+	fs := flag.NewFlagSet("qarvbench", flag.ContinueOnError)
+	samples := fs.Int("samples", 100_000, "synthetic capture surface samples for the octree/PLY workloads")
+	benchtime := fs.String("benchtime", "", `per-benchmark budget in testing syntax ("1s", "100x"); empty keeps the 1s default`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return fmt.Errorf("bad -benchtime: %w", err)
+		}
+	}
+
+	cloud, err := synthetic.Generate(synthetic.Config{
+		SamplesTarget: *samples,
+		CaptureDepth:  10,
+		Seed:          1,
+	}, synthetic.Pose{})
+	if err != nil {
+		return fmt.Errorf("generate capture: %w", err)
+	}
+	tree, err := octree.Build(cloud, 10)
+	if err != nil {
+		return fmt.Errorf("build octree: %w", err)
+	}
+	var plyBuf bytes.Buffer
+	if err := ply.WriteCloud(&plyBuf, cloud, ply.BinaryLittleEndian); err != nil {
+		return fmt.Errorf("encode ply: %w", err)
+	}
+	plyData := plyBuf.Bytes()
+
+	rows := []benchRow{
+		record("octree-build", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := octree.Build(cloud, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		record("ply-decode", int64(len(plyData)), func(b *testing.B) {
+			var got *pointcloud.Cloud
+			for i := 0; i < b.N; i++ {
+				c, err := ply.ReadCloud(bytes.NewReader(plyData))
+				if err != nil {
+					b.Fatal(err)
+				}
+				got = c
+			}
+			if got.Len() != cloud.Len() {
+				b.Fatalf("decoded %d points, want %d", got.Len(), cloud.Len())
+			}
+		}),
+		record("stream-size-profile", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.StreamSizeProfile(cloud.HasColors()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		record("content-profile", 0, func(b *testing.B) {
+			cfg := content.Config{Asset: "loot", Samples: 20_000, CaptureDepth: 8, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := content.Build(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// record runs one benchmark function and flattens its result into a
+// JSON row; setBytes (when positive) reports decode throughput.
+func record(name string, setBytes int64, fn func(b *testing.B)) benchRow {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if setBytes > 0 {
+			b.SetBytes(setBytes)
+		}
+		fn(b)
+	})
+	row := benchRow{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if setBytes > 0 && res.NsPerOp() > 0 {
+		row.MBPerSec = float64(setBytes) / float64(res.NsPerOp()) * 1e9 / 1e6
+	}
+	return row
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunEmitsBenchRows: a 1x run emits the four content-path rows as
+// well-formed JSON with positive timings.
+func TestRunEmitsBenchRows(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-samples", "5000", "-benchtime", "1x"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	want := []string{"octree-build", "ply-decode", "stream-size-profile", "content-profile"}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	for i, row := range rows {
+		if row.Name != want[i] {
+			t.Errorf("row %d name %q, want %q", i, row.Name, want[i])
+		}
+		if row.Iterations < 1 || row.NsPerOp <= 0 {
+			t.Errorf("row %q has no measurement: %+v", row.Name, row)
+		}
+	}
+	if rows[1].MBPerSec <= 0 {
+		t.Errorf("ply-decode missing throughput: %+v", rows[1])
+	}
+}
+
+// TestRunRejectsBadFlags: unknown flags and malformed benchtimes fail.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nosuch"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-benchtime", "banana"}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed benchtime accepted")
+	}
+}

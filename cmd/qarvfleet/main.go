@@ -8,6 +8,7 @@
 //	qarvfleet [-n N] [-shards S] [-slots T] [-churn C] [-seed SEED]
 //	          [-mix name:weight,name:weight,...] [-acc A]
 //	          [-net class:weight,class:weight,...]
+//	          [-content asset:weight,asset:weight,...]
 //	          [-samples N] [-service-frac F] [-json]
 //
 // Profile names available in -mix (all built over one calibrated
@@ -47,6 +48,13 @@
 // class under all three network regimes at once — the mixed
 // static/Markov/trace/handoff fleets the dynamic-network subsystem
 // exists for.
+//
+// -content replaces -mix with measured content classes: each asset
+// (synthetic name or .ply file) runs through the content pipeline once
+// and its sessions drive the proposed controller over the asset's
+// measured stream-byte and PSNR ladders, service calibrated in the
+// bytes domain. -net still crosses network classes over content
+// classes. Example: -content loot:0.6,soldier:0.4.
 package main
 
 import (
@@ -89,25 +97,43 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	samples := fs.Int("samples", 60_000, "synthetic capture surface samples (scenario calibration)")
 	serviceFrac := fs.Float64("service-frac", 0.6, "service rate position in (a(d_max-1), a(d_max))")
 	jsonOut := fs.Bool("json", false, "emit the full FleetReport as JSON")
+	contentMix := fs.String("content", "", "weighted content classes asset[:weight],... — each class's sessions run over that asset's measured byte/PSNR ladders (replaces -mix)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	scn, err := qarv.NewScenario(qarv.ScenarioParams{
-		Samples:         *samples,
-		ServiceFraction: *serviceFrac,
-		Seed:            *seed,
+	mixSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "mix" {
+			mixSet = true
+		}
 	})
-	if err != nil {
-		return fmt.Errorf("scenario: %w", err)
+	if *contentMix != "" && mixSet {
+		return fmt.Errorf("-content and -mix are mutually exclusive: content classes replace the policy mix")
+	}
+
+	var profiles []qarv.Profile
+	if *contentMix != "" {
+		var err error
+		profiles, err = parseContentMix(*contentMix, *samples, *serviceFrac, *seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		scn, err := qarv.NewScenario(qarv.ScenarioParams{
+			Samples:         *samples,
+			ServiceFraction: *serviceFrac,
+			Seed:            *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		profiles, err = parseMix(scn, *mix)
+		if err != nil {
+			return err
+		}
 	}
 	// Calibration isn't cancelable; honor a Ctrl-C that arrived during it.
 	if err := ctx.Err(); err != nil {
-		return err
-	}
-
-	profiles, err := parseMix(scn, *mix)
-	if err != nil {
 		return err
 	}
 	classes, err := parseNetMix(*netMix)
@@ -139,6 +165,48 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	printReport(out, rep)
 	return nil
+}
+
+// parseContentMix builds content-backed device classes from
+// "asset[:weight],asset[:weight],...": each asset (synthetic name or
+// .ply file) is measured once through the content pipeline and becomes
+// a fleet class running the proposed controller over that asset's
+// measured stream-byte and PSNR ladders, service calibrated in the
+// bytes domain. Weights split the fleet across assets.
+func parseContentMix(mix string, samples int, serviceFrac float64, seed uint64) ([]qarv.Profile, error) {
+	var out []qarv.Profile
+	for _, entry := range strings.Split(mix, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		asset, weightStr, found := strings.Cut(entry, ":")
+		weight := 1.0
+		if found {
+			w, err := strconv.ParseFloat(weightStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("content entry %q: bad weight: %w", entry, err)
+			}
+			weight = w
+		}
+		prof, err := qarv.LoadContent(qarv.ContentConfig{
+			Asset:   strings.TrimSpace(asset),
+			Samples: samples,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("content entry %q: %w", entry, err)
+		}
+		scn, err := qarv.NewContentScenario(qarv.ScenarioParams{ServiceFraction: serviceFrac}, prof)
+		if err != nil {
+			return nil, fmt.Errorf("content entry %q: %w", entry, err)
+		}
+		out = append(out, scn.FleetProfile(prof.Name(), weight, 1))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -content %q", mix)
+	}
+	return out, nil
 }
 
 // parseMix builds the profile list from "name:weight,name:weight,...".

@@ -246,3 +246,41 @@ func TestParseNetMixForms(t *testing.T) {
 		t.Errorf("trace:7 weight = %v, want 7 (built-in trace)", classes[0].weight)
 	}
 }
+
+// TestRunContentClasses: -content splits the fleet across measured
+// assets, each class calibrated over its own byte/PSNR ladders.
+func TestRunContentClasses(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-samples", "6000", "-n", "32", "-slots", "100",
+		"-content", "loot:0.5,soldier:0.5", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep qarv.FleetReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a FleetReport: %v\n%s", err, out.String())
+	}
+	if len(rep.PerProfile) != 2 {
+		t.Fatalf("per-profile classes %d, want 2", len(rep.PerProfile))
+	}
+	names := rep.PerProfile[0].Name + "," + rep.PerProfile[1].Name
+	if !strings.Contains(names, "loot") || !strings.Contains(names, "soldier") {
+		t.Errorf("content class names %q, want loot and soldier", names)
+	}
+}
+
+// TestRunContentRejections: -content conflicts with an explicit -mix and
+// rejects unknown assets.
+func TestRunContentRejections(t *testing.T) {
+	if err := run(context.Background(), fleetArgs("-content", "loot", "-mix", "proposed:1"), &bytes.Buffer{}); err == nil {
+		t.Error("-content with explicit -mix accepted")
+	}
+	if err := run(context.Background(), fleetArgs("-content", "no-such-asset"), &bytes.Buffer{}); err == nil {
+		t.Error("unknown content asset accepted")
+	}
+	if err := run(context.Background(), fleetArgs("-content", "loot:x"), &bytes.Buffer{}); err == nil {
+		t.Error("bad content weight accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	        [-seed S] [-chart]
 //	        [-devices N] [-alloc equal|proportional|maxweight|wrr]
 //	        [-net static|markov|trace[:FILE]|handoff]
+//	        [-content ASSET|FILE.ply]
 //
 // With -devices N the run becomes the shared-edge multi-device scenario:
 // N copies of the chosen policy contend for N× the calibrated service
@@ -23,6 +24,11 @@
 // injects mobility outages with new-cell capacity scales. In
 // multi-device runs the modulation applies to the shared edge budget
 // the allocator splits.
+//
+// -content grounds the run in a measured content profile: the named
+// synthetic asset (or a .ply file) is captured, its octree stream bytes
+// and PSNR measured per depth, and the controller calibrated over those
+// ladders — cost becomes bytes/frame and the service rate bytes/slot.
 package main
 
 import (
@@ -68,6 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	devices := fs.Int("devices", 0, "run N devices sharing the edge budget (0 = single device)")
 	allocName := fs.String("alloc", "", "multi-device budget split: equal, proportional, maxweight, wrr (default equal)")
 	netName := fs.String("net", "static", "network dynamics modulating the service: static, markov, trace[:FILE], handoff")
+	contentAsset := fs.String("content", "", "ground the run in a measured content profile: synthetic asset name or a .ply file (cost/utility become the asset's measured byte/PSNR ladders)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,13 +82,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-alloc %q requires -devices", *allocName)
 	}
 
-	scn, err := qarv.NewScenario(qarv.ScenarioParams{
-		Samples:         *samples,
-		Slots:           *slots,
-		Seed:            uint64(*seed),
-		ServiceFraction: *serviceFrac,
-		KneeSlot:        *knee,
-	})
+	var scn *qarv.Scenario
+	var err error
+	unit := "points/slot"
+	if *contentAsset != "" {
+		prof, perr := qarv.LoadContent(qarv.ContentConfig{
+			Asset:   *contentAsset,
+			Samples: *samples,
+			Seed:    uint64(*seed),
+		})
+		if perr != nil {
+			return fmt.Errorf("content profile: %w", perr)
+		}
+		scn, err = qarv.NewContentScenario(qarv.ScenarioParams{
+			Slots:           *slots,
+			ServiceFraction: *serviceFrac,
+			KneeSlot:        *knee,
+		}, prof)
+		unit = "bytes/slot"
+	} else {
+		scn, err = qarv.NewScenario(qarv.ScenarioParams{
+			Samples:         *samples,
+			Slots:           *slots,
+			Seed:            uint64(*seed),
+			ServiceFraction: *serviceFrac,
+			KneeSlot:        *knee,
+		})
+	}
 	if err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
@@ -91,7 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *devices > 0 {
-		return runMulti(ctx, out, scn, *devices, *allocName, *policyName, *netName, *vOverride, uint64(*seed), *chart)
+		return runMulti(ctx, out, scn, unit, *devices, *allocName, *policyName, *netName, *vOverride, uint64(*seed), *chart)
 	}
 	p, err := buildPolicy(*policyName, *vOverride, scn, uint64(*seed))
 	if err != nil {
@@ -116,8 +143,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	res := rep.Sim
 
 	fmt.Fprintf(out, "policy            %s\n", res.PolicyName)
+	if *contentAsset != "" {
+		fmt.Fprintf(out, "content           %s (measured byte/PSNR ladders)\n", scn.Params.Character)
+	}
 	fmt.Fprintf(out, "slots             %d\n", *slots)
-	fmt.Fprintf(out, "service rate      %.0f points/slot\n", scn.ServiceRate)
+	fmt.Fprintf(out, "service rate      %.0f %s\n", scn.ServiceRate, unit)
 	if netLabel != "static" {
 		fmt.Fprintf(out, "network           %s\n", netLabel)
 	}
@@ -169,7 +199,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // chosen policy (each a fresh instance acting on purely local state)
 // contend for n× the calibrated budget under the named allocator,
 // optionally modulated by the -net dynamics.
-func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, allocName, policyName, netName string, vOverride float64, seed uint64, chart bool) error {
+func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, unit string, n int, allocName, policyName, netName string, vOverride float64, seed uint64, chart bool) error {
 	if allocName == "" {
 		allocName = "equal"
 	}
@@ -211,7 +241,7 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, n int, all
 	fmt.Fprintf(out, "policy            %s\n", devs[0].Policy.Name())
 	fmt.Fprintf(out, "devices           %d\n", n)
 	fmt.Fprintf(out, "allocator         %s\n", res.Allocator)
-	fmt.Fprintf(out, "edge budget       %.0f points/slot\n", float64(n)*scn.ServiceRate)
+	fmt.Fprintf(out, "edge budget       %.0f %s\n", float64(n)*scn.ServiceRate, unit)
 	if netLabel != "static" {
 		fmt.Fprintf(out, "network           %s\n", netLabel)
 	}

@@ -156,3 +156,42 @@ func TestRunNetworkDynamics(t *testing.T) {
 		t.Error("missing trace file accepted")
 	}
 }
+
+// TestRunContentProfile grounds the run in a measured asset: the
+// scenario must report bytes-domain units and the content line.
+func TestRunContentProfile(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-samples", "6000", "-slots", "200", "-knee", "100",
+		"-content", "loot",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "content           loot") {
+		t.Errorf("missing content line:\n%s", s)
+	}
+	if !strings.Contains(s, "bytes/slot") {
+		t.Errorf("service rate not in bytes domain:\n%s", s)
+	}
+	if err := run(context.Background(), []string{"-content", "no-such-asset"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown content asset accepted")
+	}
+}
+
+// TestRunContentMultiDevice: -content composes with -devices (the
+// shared edge budget is split in the bytes domain).
+func TestRunContentMultiDevice(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-samples", "6000", "-slots", "200", "-knee", "100",
+		"-content", "loot", "-devices", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "edge budget") || !strings.Contains(out.String(), "bytes/slot") {
+		t.Errorf("multi-device content run missing bytes-domain budget:\n%s", out.String())
+	}
+}

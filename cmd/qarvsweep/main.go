@@ -18,7 +18,11 @@
 // fractions), arrivals (Poisson means), slots (horizons), net
 // (static, markov[:VOLATILITY], handoff, trace[:FILE]), alloc
 // (allocator names; pool backend only), policy (proposed, max, min,
-// random, threshold, oracle). Unknown kinds are rejected with the list.
+// random, threshold, oracle), content (assets measured through the
+// content pipeline — synthetic names or .ply files; cells run over each
+// asset's measured byte/PSNR ladders), viewdist (ASSET:D1,D2,... —
+// view-PSNR at each camera distance in meters). Unknown kinds are
+// rejected with the list.
 package main
 
 import (
@@ -81,7 +85,7 @@ func parseFlags(args []string) (options, error) {
 	var o options
 	var seed int64
 	var axes axisFlags
-	fs.Var(&axes, "axis", "axis spec name=v1,v2,... (repeatable): v, rate, arrivals, slots, net, alloc, policy")
+	fs.Var(&axes, "axis", "axis spec name=v1,v2,... (repeatable): v, rate, arrivals, slots, net, alloc, policy, content, viewdist")
 	fs.StringVar(&o.backend, "backend", "pool", "cell executor: pool (in-process) or fleet (a session population per cell)")
 	fs.IntVar(&o.sessions, "sessions", 256, "sessions per cell on the fleet backend")
 	fs.IntVar(&o.workers, "workers", 0, "concurrent cells (0 = GOMAXPROCS); output is identical for every value")
@@ -115,8 +119,10 @@ func parseFloats(kind, list string) ([]float64, error) {
 	return out, nil
 }
 
-// buildAxis turns one -axis spec into a typed engine axis.
-func buildAxis(spec string) (qarv.SweepAxis, error) {
+// buildAxis turns one -axis spec into a typed engine axis. The options
+// supply the content pipeline's capture knobs (samples, seed) for the
+// content and viewdist kinds.
+func buildAxis(spec string, o options) (qarv.SweepAxis, error) {
 	name, list, ok := strings.Cut(spec, "=")
 	if !ok || list == "" {
 		return qarv.SweepAxis{}, fmt.Errorf("axis spec %q: want name=v1,v2,...", spec)
@@ -173,8 +179,37 @@ func buildAxis(spec string) (qarv.SweepAxis, error) {
 			nets = append(nets, n)
 		}
 		return qarv.AxisNetwork(nets...), nil
+	case "content":
+		assets := strings.Split(list, ",")
+		profiles := make([]*qarv.ContentProfile, 0, len(assets))
+		for _, a := range assets {
+			prof, err := qarv.LoadContent(qarv.ContentConfig{
+				Asset:   strings.TrimSpace(a),
+				Samples: o.samples,
+				Seed:    o.seed,
+			})
+			if err != nil {
+				return qarv.SweepAxis{}, fmt.Errorf("axis content: %w", err)
+			}
+			profiles = append(profiles, prof)
+		}
+		return qarv.AxisContent(profiles...), nil
+	case "viewdist":
+		asset, distList, ok := strings.Cut(list, ":")
+		if !ok || distList == "" {
+			return qarv.SweepAxis{}, fmt.Errorf("axis viewdist: want viewdist=ASSET:D1,D2,...")
+		}
+		dists, err := parseFloats(name, distList)
+		if err != nil {
+			return qarv.SweepAxis{}, err
+		}
+		return qarv.AxisViewDistance(qarv.ContentConfig{
+			Asset:   strings.TrimSpace(asset),
+			Samples: o.samples,
+			Seed:    o.seed,
+		}, dists...), nil
 	default:
-		return qarv.SweepAxis{}, fmt.Errorf("unknown axis %q (want v, rate, arrivals, slots, net, alloc, policy)", name)
+		return qarv.SweepAxis{}, fmt.Errorf("unknown axis %q (want v, rate, arrivals, slots, net, alloc, policy, content, viewdist)", name)
 	}
 }
 
@@ -221,7 +256,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	axes := make([]qarv.SweepAxis, 0, len(o.axes))
 	for _, spec := range o.axes {
-		ax, err := buildAxis(spec)
+		ax, err := buildAxis(spec, o)
 		if err != nil {
 			return err
 		}

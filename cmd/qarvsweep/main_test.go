@@ -76,6 +76,48 @@ func TestRunTextTable(t *testing.T) {
 	}
 }
 
+// TestRunContentAxis drives the content axis end-to-end through the
+// CLI: a content (2 assets) × v grid must emit measured-ladder cells
+// byte-identical at -workers 1 and 4 (the acceptance determinism pin at
+// the outermost layer).
+func TestRunContentAxis(t *testing.T) {
+	sweep := func(workers string) string {
+		var out bytes.Buffer
+		err := run(context.Background(), []string{
+			"-samples", "6000", "-slots", "100", "-seed", "5",
+			"-axis", "content=loot,soldier", "-axis", "v=0.5,1",
+			"-workers", workers, "-json",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	base := sweep("1")
+	if got := sweep("4"); got != base {
+		t.Fatal("content sweep diverged between -workers 1 and 4")
+	}
+	var rep struct {
+		Axes []string `json:"axes"`
+		Rows []struct {
+			Coords []struct {
+				Axis  string `json:"axis"`
+				Label string `json:"label"`
+			} `json:"coords"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(base), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Axes) != 2 || rep.Axes[0] != "content" || len(rep.Rows) != 4 {
+		t.Fatalf("axes %v rows %d, want [content v] and 4 cells", rep.Axes, len(rep.Rows))
+	}
+	if rep.Rows[0].Coords[0].Label != "loot" || rep.Rows[2].Coords[0].Label != "soldier" {
+		t.Errorf("content labels %q/%q, want loot/soldier",
+			rep.Rows[0].Coords[0].Label, rep.Rows[2].Coords[0].Label)
+	}
+}
+
 // TestRunRejectsBadInput: missing axes, malformed specs, unknown kinds
 // and backends all fail with a clear error.
 func TestRunRejectsBadInput(t *testing.T) {
@@ -87,6 +129,9 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-axis", "net=warp"},
 		{"-axis", "v=1", "-backend", "nosuch"},
 		{"-axis", "v=1", "-json", "-chart"},
+		{"-axis", "content=no-such-asset"},
+		{"-axis", "viewdist=2,4"},
+		{"-axis", "viewdist=loot:x"},
 	} {
 		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v: expected error", args)

@@ -1,0 +1,50 @@
+package content
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The in-process profile cache: Build runs the generate → octree →
+// measure pipeline (hundreds of milliseconds at realistic sample
+// counts), and sweeps/fleets resolve the same asset from many cells and
+// profiles, often concurrently. Load memoizes per resolved Config; each
+// distinct configuration builds exactly once (concurrent callers of the
+// same key block on the one build), and the resulting immutable Profile
+// is shared.
+
+type cacheEntry struct {
+	once sync.Once
+	prof *Profile
+	err  error
+}
+
+var profileCache = struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}{m: make(map[string]*cacheEntry)}
+
+// cacheKey derives the memoization key from the resolved configuration.
+// Every field that affects the built profile participates.
+func cacheKey(c Config) string {
+	return fmt.Sprintf("%s|s=%d|cd=%d|R=%v|seed=%d|q=%s|v=%dx%d@%g|cap=%g",
+		c.Asset, c.Samples, c.CaptureDepth, c.Depths, c.Seed,
+		c.Quality, c.View.Width, c.View.Height, c.View.Distance, c.PSNRCap)
+}
+
+// Load returns the profile for cfg, building it on first use and
+// serving the cached result afterwards. The returned Profile is shared:
+// it is immutable and safe for concurrent use. Errors are memoized too
+// (a failing configuration fails fast on retry within the process).
+func Load(cfg Config) (*Profile, error) {
+	key := cacheKey(cfg.withDefaults())
+	profileCache.mu.Lock()
+	e, ok := profileCache.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		profileCache.m[key] = e
+	}
+	profileCache.mu.Unlock()
+	e.once.Do(func() { e.prof, e.err = Build(cfg) })
+	return e.prof, e.err
+}

@@ -1,0 +1,206 @@
+package content
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"qarv/internal/ply"
+	"qarv/internal/synthetic"
+)
+
+// testConfig keeps builds fast: a small sample budget and a shallow
+// ladder still exercise the full generate → octree → measure pipeline.
+func testConfig() Config {
+	return Config{Asset: "loot", Samples: 6_000, CaptureDepth: 7, Seed: 3}
+}
+
+func TestBuildLadders(t *testing.T) {
+	p, err := Build(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "loot" {
+		t.Fatalf("name %q, want loot", p.Name())
+	}
+	cd := p.CaptureDepth()
+	if cd != 7 {
+		t.Fatalf("capture depth %d, want 7", cd)
+	}
+	points, sizes, psnr := p.Points(), p.Bytes(), p.PSNR()
+	if len(points) != cd+1 || len(sizes) != cd+1 || len(psnr) != cd+1 {
+		t.Fatalf("ladder lengths %d/%d/%d, want %d", len(points), len(sizes), len(psnr), cd+1)
+	}
+	for d := 1; d <= cd; d++ {
+		if points[d] < points[d-1] {
+			t.Errorf("points ladder not monotone at depth %d: %d < %d", d, points[d], points[d-1])
+		}
+		if sizes[d] <= sizes[d-1] {
+			t.Errorf("bytes ladder not strictly increasing at depth %d: %d <= %d", d, sizes[d], sizes[d-1])
+		}
+	}
+	rows := p.Ladder()
+	if len(rows) != len(p.Depths()) {
+		t.Fatalf("%d ladder rows for %d depths", len(rows), len(p.Depths()))
+	}
+	for _, r := range rows {
+		if r.Points != points[r.Depth] || r.Bytes != sizes[r.Depth] {
+			t.Errorf("depth %d row %+v disagrees with ladders", r.Depth, r)
+		}
+	}
+}
+
+// TestUtilityLadderMonotone is the satellite property test: measured
+// utility ladders are monotone non-decreasing in depth, for both quality
+// modes, and strictly increasing over the measured depths (the
+// controller's requirement).
+func TestUtilityLadderMonotone(t *testing.T) {
+	for _, q := range []Quality{QualityGeometry, QualityView} {
+		cfg := testConfig()
+		cfg.Quality = q
+		cfg.View = View{Width: 64, Height: 64}
+		p, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		psnr := p.PSNR()
+		for d := 1; d < len(psnr); d++ {
+			if psnr[d] < psnr[d-1] {
+				t.Errorf("%s: PSNR ladder decreases at depth %d: %v < %v", q, d, psnr[d], psnr[d-1])
+			}
+		}
+		prev := -1.0
+		for _, d := range p.Depths() {
+			if psnr[d] <= prev {
+				t.Errorf("%s: PSNR not strictly increasing at measured depth %d: %v <= %v", q, d, psnr[d], prev)
+			}
+			prev = psnr[d]
+		}
+		if _, err := p.UtilityModel(); err != nil {
+			t.Errorf("%s: utility model: %v", q, err)
+		}
+		if _, err := p.CostModel(); err != nil {
+			t.Errorf("%s: cost model: %v", q, err)
+		}
+	}
+}
+
+func TestViewDistanceChangesLadder(t *testing.T) {
+	near, far := testConfig(), testConfig()
+	near.Quality, far.Quality = QualityView, QualityView
+	near.View = View{Width: 64, Height: 64, Distance: 2}
+	far.View = View{Width: 64, Height: 64, Distance: 8}
+	pn, err := Build(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Build(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(pn.PSNR(), pf.PSNR()) {
+		t.Fatal("view PSNR ladder identical at 2 m and 8 m; distance has no effect")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Points(), b.Points()) ||
+		!reflect.DeepEqual(a.Bytes(), b.Bytes()) ||
+		!reflect.DeepEqual(a.PSNR(), b.PSNR()) {
+		t.Fatal("two builds of the same config differ")
+	}
+	other := testConfig()
+	other.Seed = 4
+	c, err := Build(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical byte ladders")
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 17 // private key for this test
+	a, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Load built twice for the same config")
+	}
+	variant := cfg
+	variant.Quality = QualityView
+	variant.View = View{Width: 64, Height: 64}
+	c, err := Load(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct configs shared a cache entry")
+	}
+}
+
+func TestPLYAsset(t *testing.T) {
+	cloud, err := synthetic.Generate(synthetic.Config{
+		SamplesTarget: 4_000, CaptureDepth: 6, Seed: 9,
+	}, synthetic.Pose{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ply.WriteCloud(&buf, cloud, ply.BinaryLittleEndian); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "subject.ply")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(Config{Asset: path, CaptureDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "subject" {
+		t.Fatalf("name %q, want subject", p.Name())
+	}
+	// The rebuilt octree's lattice need not align with the capture
+	// lattice, so deepest occupancy is bounded by the PLY's point count.
+	if got := p.Points()[6]; got <= 0 || got > cloud.Len() {
+		t.Fatalf("deepest occupancy %d, want in (0, %d]", got, cloud.Len())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Depths = []int{5, 9}
+	if _, err := Build(cfg); !errors.Is(err, ErrDepthBeyondCapture) {
+		t.Fatalf("depth beyond capture: err = %v", err)
+	}
+	cfg = testConfig()
+	cfg.Depths = []int{0, 3}
+	if _, err := Build(cfg); !errors.Is(err, ErrBadDepth) {
+		t.Fatalf("non-positive depth: err = %v", err)
+	}
+	if _, err := Build(Config{Asset: "nobody"}); !errors.Is(err, synthetic.ErrUnknownCharacter) {
+		t.Fatalf("unknown preset: err = %v", err)
+	}
+	if _, err := Build(Config{Asset: "missing.ply"}); err == nil {
+		t.Fatal("missing PLY file: expected error")
+	}
+}

@@ -20,6 +20,16 @@ var deterministicPkgs = map[string]bool{
 	"internal/policy":      true,
 	"internal/alloc":       true,
 	"internal/stats":       true,
+	// The content pipeline: measured byte/PSNR ladders feed controller
+	// calibration, so one nondeterministic byte here breaks every seed
+	// pin above it (same seed ⇒ identical profile ⇒ identical report).
+	"internal/content":    true,
+	"internal/octree":     true,
+	"internal/synthetic":  true,
+	"internal/render":     true,
+	"internal/quality":    true,
+	"internal/ply":        true,
+	"internal/pointcloud": true,
 }
 
 // IsDeterministic reports whether the package at pkgPath (a full
@@ -52,7 +62,8 @@ var NondeterminismAnalyzer = &Analyzer{
 	Name: "nondeterminism",
 	Doc: "forbid time.Now/time.Since and math/rand everywhere, and map iteration " +
 		"feeding ordered output in the deterministic packages (sim, fleet, experiments, " +
-		"queueing, netem, policy, alloc, stats); wall-clock sites carry //qarv:allow with a reason",
+		"queueing, netem, policy, alloc, stats, and the content pipeline: content, octree, " +
+		"synthetic, render, quality, ply, pointcloud); wall-clock sites carry //qarv:allow with a reason",
 	Run: runNondeterminism,
 }
 

@@ -37,22 +37,30 @@ func (o *Octree) SerializeWithColors(w io.Writer, d int) error {
 	if err := o.Serialize(w, d); err != nil {
 		return err
 	}
-	lod, err := o.LOD(d, LODVoxelCenter)
-	if err != nil {
-		return err
-	}
-	// LOD(LODVoxelCenter) carries averaged colors in Morton order.
-	return encodeColors(w, lodColors(o, d, lod))
+	return encodeColors(w, o.appendLeafColors(nil, d))
 }
 
-// lodColors returns the per-leaf average colors at depth d in Morton
-// order. The LOD already computes them; this indirection keeps the
-// encoding independent of LOD mode internals.
-func lodColors(o *Octree, d int, lod *pointcloud.Cloud) []pointcloud.Color {
-	if lod.HasColors() {
-		return lod.Colors
-	}
-	return make([]pointcloud.Color, lod.Len())
+// appendLeafColors appends the per-leaf average colors at depth d in
+// Morton order to dst, using the same rounding as LOD extraction so the
+// attribute stream matches what the renderer shows. Reusing dst[:0]
+// across depths lets StreamSizeProfile avoid per-depth allocations.
+func (o *Octree) appendLeafColors(dst []pointcloud.Color, d int) []pointcloud.Color {
+	_ = o.ForEachNode(d, func(n Node) {
+		var r, g, b float64
+		for i := n.Start; i < n.End; i++ {
+			c := o.cloud.Colors[o.order[i]]
+			r += float64(c.R)
+			g += float64(c.G)
+			b += float64(c.B)
+		}
+		inv := 1 / float64(n.Count())
+		dst = append(dst, pointcloud.Color{
+			R: uint8(r*inv + 0.5),
+			G: uint8(g*inv + 0.5),
+			B: uint8(b*inv + 0.5),
+		})
+	})
+	return dst
 }
 
 // SerializeWithColorsBytes returns the combined geometry+attribute stream.
@@ -274,22 +282,70 @@ func (b *blockReader) readBlocks(n int) ([]uint32, error) {
 // 1..MaxDepth(), with or without the color payload. This is the workload
 // profile a(d) for network-bound offload scenarios: choosing depth d
 // enqueues bytes(d) onto the uplink.
+//
+// Sizes are computed without materializing any stream: the geometry
+// stream at depth d is exactly the header plus one occupancy byte per
+// occupied node at every level above d, so it follows from the occupancy
+// profile; the color payload size is accumulated from the per-block bit
+// widths over a single reused leaf-color buffer. The results are
+// byte-for-byte identical to serializing at every depth (pinned by
+// TestStreamSizeProfileMatchesSerialization).
 func (o *Octree) StreamSizeProfile(withColors bool) ([]int, error) {
-	sizes := make([]int, o.maxDepth+1)
-	for d := 1; d <= o.maxDepth; d++ {
-		var buf bytes.Buffer
-		var err error
-		if withColors {
-			err = o.SerializeWithColors(&buf, d)
-		} else {
-			err = o.Serialize(&buf, d)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("depth %d: %w", d, err)
-		}
-		sizes[d] = buf.Len()
+	if withColors && !o.cloud.HasColors() {
+		return nil, fmt.Errorf("depth 1: %w", ErrNoColors)
 	}
+	profile := o.profileSlice()
+	sizes := make([]int, o.maxDepth+1)
 	// Depth 0 (root only) ships a bare header.
 	sizes[0] = headerSize
+	occupancy := 0 // occupancy bytes above depth d: Σ profile[0..d-1]
+	for d := 1; d <= o.maxDepth; d++ {
+		occupancy += profile[d-1]
+		sizes[d] = headerSize + occupancy
+	}
+	if !withColors {
+		return sizes, nil
+	}
+	var colors []pointcloud.Color
+	for d := 1; d <= o.maxDepth; d++ {
+		colors = o.appendLeafColors(colors[:0], d)
+		sizes[d] += colorStreamSize(colors)
+	}
 	return sizes, nil
+}
+
+// colorStreamSize returns the encoded size of the color section exactly
+// as encodeColors would emit it — header plus, per channel and 64-delta
+// block, one width byte and the bit-packed payload — without building
+// the stream.
+func colorStreamSize(colors []pointcloud.Color) int {
+	size := 8 // magic + uint32 count
+	for ch := 0; ch < 3; ch++ {
+		prev := int32(0)
+		for start := 0; start < len(colors); start += colorBlockSize {
+			end := start + colorBlockSize
+			if end > len(colors) {
+				end = len(colors)
+			}
+			width := 0
+			for i := start; i < end; i++ {
+				var v int32
+				switch ch {
+				case 0:
+					v = int32(colors[i].R)
+				case 1:
+					v = int32(colors[i].G)
+				default:
+					v = int32(colors[i].B)
+				}
+				d := v - prev
+				if w := bitsLen(uint32((d << 1) ^ (d >> 31))); w > width {
+					width = w
+				}
+				prev = v
+			}
+			size += 1 + (width*(end-start)+7)/8
+		}
+	}
+	return size
 }

@@ -1,0 +1,42 @@
+package ply
+
+import (
+	"bytes"
+	"testing"
+
+	"qarv/internal/pointcloud"
+	"qarv/internal/synthetic"
+)
+
+// BenchmarkPLYDecode measures binary little-endian decode throughput on
+// a realistic colored body capture — the hot path when content profiles
+// are built from .ply assets.
+func BenchmarkPLYDecode(b *testing.B) {
+	cloud, err := synthetic.Generate(synthetic.Config{
+		SamplesTarget: 100_000,
+		CaptureDepth:  9,
+		Seed:          1,
+	}, synthetic.Pose{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCloud(&buf, cloud, BinaryLittleEndian); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var got *pointcloud.Cloud
+	for i := 0; i < b.N; i++ {
+		c, err := ReadCloud(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got = c
+	}
+	if got.Len() != cloud.Len() {
+		b.Fatalf("decoded %d points, want %d", got.Len(), cloud.Len())
+	}
+}

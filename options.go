@@ -18,6 +18,7 @@ type sessionConfig struct {
 	slotsSet   bool
 	maxBacklog float64
 	maxSet     bool
+	content    *ContentProfile
 	devices    []Device
 	allocator  Allocator
 	offload    *OffloadParams
@@ -34,6 +35,19 @@ type sessionConfig struct {
 // overrides the scenario's corresponding field.
 func WithScenario(s *Scenario) Option {
 	return func(c *sessionConfig) { c.scenario = s }
+}
+
+// WithContent grounds the session in a measured content profile
+// (LoadContent/BuildContent): NewSession calibrates a scenario whose
+// cost a(d) is the profile's measured stream-byte ladder and whose
+// utility pa(d) is its measured PSNR ladder (NewContentScenario), then
+// resolves it exactly like WithScenario. A scenario passed alongside
+// supplies the control-side knobs (KneeSlot, ServiceFraction, Slots);
+// the candidate depths come from the profile's measured ladder. Other
+// options still override the resolved defaults. Not valid with
+// WithOffload, which measures its own capture.
+func WithContent(p *ContentProfile) Option {
+	return func(c *sessionConfig) { c.content = p }
 }
 
 // WithPolicy sets the depth-selection policy driving the run.

@@ -88,6 +88,7 @@ import (
 	"io"
 
 	"qarv/internal/alloc"
+	"qarv/internal/content"
 	"qarv/internal/core"
 	"qarv/internal/delay"
 	"qarv/internal/experiments"
@@ -414,6 +415,58 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		return nil, err
 	}
 	return rep.Multi, nil
+}
+
+// ---------------------------------------------------------------------------
+// Content-backed workloads (measured quality/bytes ladders)
+// ---------------------------------------------------------------------------
+
+type (
+	// ContentConfig selects and parameterizes a content asset build: a
+	// synthetic preset or PLY file, sample budget, capture depth,
+	// measured ladder depths, seed, and quality metric.
+	ContentConfig = content.Config
+	// ContentProfile is an immutable measured workload profile: per-depth
+	// occupancy, stream-byte, and PSNR ladders over one asset.
+	ContentProfile = content.Profile
+	// ContentView configures the camera of view-quality measurement.
+	ContentView = content.View
+	// ContentQuality selects the utility metric of a content build.
+	ContentQuality = content.Quality
+	// ContentLadderRow is one measured point of a quality/bytes ladder.
+	ContentLadderRow = content.LadderRow
+)
+
+// Content quality metrics.
+const (
+	// ContentQualityGeometry measures D1 geometry PSNR per depth
+	// (viewpoint independent). Default.
+	ContentQualityGeometry = content.QualityGeometry
+	// ContentQualityView measures rendered-image PSNR per depth through
+	// the configured camera (viewpoint/distance dependent).
+	ContentQualityView = content.QualityView
+)
+
+// BuildContent measures a fresh content profile from the configured
+// asset: generate (or read) the cloud, build the octree, measure the
+// stream-byte ladder and the PSNR ladder. Deterministic per config.
+// Prefer LoadContent, which memoizes.
+func BuildContent(cfg ContentConfig) (*ContentProfile, error) { return content.Build(cfg) }
+
+// LoadContent returns the profile for cfg from the in-process content
+// cache, building it on first use. The returned profile is immutable
+// and shared; each distinct configuration builds exactly once per
+// process.
+func LoadContent(cfg ContentConfig) (*ContentProfile, error) { return content.Load(cfg) }
+
+// NewContentScenario calibrates a Scenario over a measured content
+// profile: cost a(d) is the measured stream-byte ladder, utility pa(d)
+// the measured PSNR ladder, with the service rate and V recalibrated in
+// the bytes domain. params supplies the control-side knobs (KneeSlot,
+// ServiceFraction, Slots, and optionally Depths); content-side fields
+// come from the profile.
+func NewContentScenario(params ScenarioParams, prof *ContentProfile) (*Scenario, error) {
+	return experiments.NewContentScenario(params, prof)
 }
 
 // ---------------------------------------------------------------------------

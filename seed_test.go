@@ -296,6 +296,75 @@ func TestSweepBackendsCoincideViaFacade(t *testing.T) {
 	}
 }
 
+// contentSweep builds the content acceptance grid: two measured assets
+// crossed with V factors, every cell calibrated over its asset's
+// measured byte/PSNR ladders. Profiles resolve through the content
+// cache, so the asset pipeline runs once per asset per process.
+func contentSweep(t *testing.T, workers int, seed uint64) *Sweep {
+	t.Helper()
+	profs := make([]*ContentProfile, 2)
+	for i, asset := range []string{"loot", "soldier"} {
+		p, err := LoadContent(ContentConfig{Asset: asset, Samples: 6_000, CaptureDepth: 7, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profs[i] = p
+	}
+	base, err := NewContentScenario(ScenarioParams{KneeSlot: 100, Slots: 200}, profs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSweep(base, AxisContent(profs...), AxisV(0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Workers = workers
+	sw.Slots = 120
+	sw.Seed = seed
+	return sw
+}
+
+// TestContentSweepDeterminism pins the acceptance contract for
+// content-backed sweeps: an AxisContent (2 assets) × AxisV grid is
+// byte-identical at workers 1 and 4, on both backends — same seed ⇒
+// identical measured profile ⇒ identical SweepReport at any worker or
+// shard count.
+func TestContentSweepDeterminism(t *testing.T) {
+	base := sweepJSON(t, contentSweep(t, 1, 42))
+	if got := sweepJSON(t, contentSweep(t, 4, 42)); got != base {
+		t.Fatal("content sweep diverged between workers 1 and 4")
+	}
+	fleetRun := func(workers int) string {
+		sw := contentSweep(t, workers, 42)
+		sw.Backend = BackendFleet(8)
+		sw.Slots = 60
+		return sweepJSON(t, sw)
+	}
+	if fleetRun(1) != fleetRun(4) {
+		t.Fatal("content fleet-backend sweep diverged across worker counts")
+	}
+}
+
+// TestContentSweepBackendsCoincide: a deterministic content cell reports
+// the same means in-process and as a single-session fleet — the measured
+// ladders resolve identically down both backend paths.
+func TestContentSweepBackendsCoincide(t *testing.T) {
+	run := func(b SweepBackend) SweepRow {
+		sw := contentSweep(t, 1, 42)
+		sw.Backend = b
+		rep, err := sw.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Rows[0]
+	}
+	pool, fl := run(BackendPool()), run(BackendFleet(1))
+	if math.Abs(pool.Utility-fl.Utility) > 1e-9 || math.Abs(pool.Backlog-fl.Backlog) > 1e-9 {
+		t.Errorf("content backends diverge: pool (%v, %v) vs fleet (%v, %v)",
+			pool.Utility, pool.Backlog, fl.Utility, fl.Backlog)
+	}
+}
+
 // Regression (review finding): Run twice on the same markov-service
 // session must not freeze the chain — a t regression resets the
 // process state while the RNG stream continues, so the second run is

@@ -115,6 +115,26 @@ func NewSession(opts ...Option) (*Session, error) {
 	}
 	obs := fanOut(c.observers)
 
+	if c.content != nil {
+		if c.offload != nil {
+			return nil, fmt.Errorf("%w: offload sessions measure their own capture; WithContent applies to sim and multi sessions", ErrOptionConflict)
+		}
+		// Recalibrate the session scenario over the measured profile: the
+		// supplied scenario (if any) keeps its control-side knobs, while
+		// cost, utility, service rate, V, and the candidate depths come
+		// from the profile's measured ladders.
+		var params ScenarioParams
+		if c.scenario != nil {
+			params = c.scenario.Params
+			params.Depths = nil
+		}
+		scn, err := experiments.NewContentScenario(params, c.content)
+		if err != nil {
+			return nil, err
+		}
+		c.scenario = scn
+	}
+
 	switch {
 	case c.offload != nil:
 		if c.scenario != nil || c.policy != nil || c.arrivals != nil || c.service != nil ||

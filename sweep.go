@@ -113,6 +113,25 @@ func SweepPolicyByName(name string) (PolicySpec, error) { return experiments.Pol
 // to multi-device runs; pool backend only.
 func AxisAllocator(names ...string) SweepAxis { return experiments.AxisAllocator(names...) }
 
+// AxisContent sweeps the content asset: each point recalibrates the
+// cell's scenario over that profile's measured stream-byte and PSNR
+// ladders (NewContentScenario), keeping the sweep's control-side knobs
+// so cells stay comparable across assets. Build the profiles up front
+// with LoadContent so the asset pipeline runs once per asset.
+func AxisContent(profiles ...*ContentProfile) SweepAxis {
+	return experiments.AxisContent(profiles...)
+}
+
+// AxisViewDistance sweeps viewing distance: each point rebuilds the
+// base asset's content profile with view-PSNR quality measured through
+// a camera at that distance (meters) and recalibrates the cell's
+// scenario over it — the viewpoint-dependent quality axis. Profiles
+// resolve through the content cache, so each distance builds once per
+// process.
+func AxisViewDistance(base ContentConfig, distances ...float64) SweepAxis {
+	return experiments.AxisViewDistance(base, distances...)
+}
+
 // AxisNetwork sweeps the network/capacity shape (NetworkStatic,
 // NetworkMarkov, NetworkHandoff, NetworkTraceShape, or custom).
 func AxisNetwork(nets ...SweepNetwork) SweepAxis { return experiments.AxisNetwork(nets...) }
