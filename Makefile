@@ -67,6 +67,19 @@ sweep-smoke:
 		-axis v=0.5,2 -axis net=static,markov:0.5 \
 		-backend fleet -sessions 8 -json > /dev/null
 
+# telemetry-smoke runs the observability layer end to end: the pin
+# tests proving metric snapshots are byte-identical per seed at any
+# shard/worker count and that telemetry never changes report bytes,
+# the CLI sink tests, then a real qarvfleet run that must emit a
+# non-empty snapshot and trace_event file.
+telemetry-smoke:
+	$(GO) test -run 'Telemetry' . ./cmd/qarvfleet
+	$(GO) test ./internal/obs ./cmd/internal/telemetry
+	$(GO) run ./cmd/qarvfleet -samples 30000 -n 64 -slots 200 -json \
+		-metrics telemetry_smoke_metrics.json -trace telemetry_smoke_trace.json > /dev/null
+	test -s telemetry_smoke_metrics.json && test -s telemetry_smoke_trace.json
+	rm -f telemetry_smoke_metrics.json telemetry_smoke_trace.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/vsweep

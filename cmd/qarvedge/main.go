@@ -6,9 +6,11 @@
 // Usage:
 //
 //	qarvedge [-addr 127.0.0.1:7464] [-rate BYTES_PER_SEC] [-validate]
-//	         [-duration 0]
+//	         [-duration 0] [-metrics-addr HOST:PORT]
 //
-// With -duration 0 the server runs until interrupted.
+// With -duration 0 the server runs until interrupted. -metrics-addr
+// additionally serves the live stream_* counters in Prometheus text
+// format at /metrics, plus the standard /debug/pprof endpoints.
 package main
 
 import (
@@ -16,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"qarv/internal/obs"
 	"qarv/internal/stream"
 )
 
@@ -38,19 +43,42 @@ func run(args []string, out io.Writer, started func(addr string)) error {
 	rate := fs.Float64("rate", 2e6, "processing throughput in bytes/second (0 = unpaced)")
 	validate := fs.Bool("validate", true, "decode and validate every received stream")
 	duration := fs.Duration("duration", 0, "serve for this long then exit (0 = until SIGINT)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	srv, err := stream.Serve(*addr, stream.ServerConfig{
 		BytesPerSecond: *rate,
 		Validate:       *validate,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "edge listening on %s (rate %.0f B/s, validate=%v)\n",
 		srv.Addr(), *rate, *validate)
+	if reg != nil {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			_ = srv.Close() // the listen error is the one worth reporting
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		defer ln.Close()
+		msrv := &http.Server{Handler: obs.NewDebugMux(reg)}
+		go func() {
+			// Surface startup failures; the expected ErrServerClosed from
+			// the deferred listener close stays quiet.
+			if err := msrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "qarvedge: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(out, "metrics on http://%s/metrics (pprof on /debug/pprof)\n", ln.Addr())
+	}
 	if started != nil {
 		started(srv.Addr())
 	}

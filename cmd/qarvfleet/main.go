@@ -10,6 +10,7 @@
 //	          [-net class:weight,class:weight,...]
 //	          [-content asset:weight,asset:weight,...]
 //	          [-samples N] [-service-frac F] [-json]
+//	          [-metrics FILE] [-trace FILE]
 //
 // Profile names available in -mix (all built over one calibrated
 // scenario):
@@ -69,6 +70,7 @@ import (
 	"strings"
 
 	"qarv"
+	"qarv/cmd/internal/telemetry"
 )
 
 func main() {
@@ -98,9 +100,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serviceFrac := fs.Float64("service-frac", 0.6, "service rate position in (a(d_max-1), a(d_max))")
 	jsonOut := fs.Bool("json", false, "emit the full FleetReport as JSON")
 	contentMix := fs.String("content", "", "weighted content classes asset[:weight],... — each class's sessions run over that asset's measured byte/PSNR ladders (replaces -mix)")
+	sinks := telemetry.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sinks.Resolve()
 	mixSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "mix" {
@@ -149,6 +153,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Seed:     *seed,
 		Accuracy: *acc,
 		Profiles: profiles,
+		Metrics:  sinks.Registry,
+		Recorder: sinks.Recorder,
 	})
 	if err != nil {
 		return err
@@ -161,10 +167,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(out, rep)
 	}
-	printReport(out, rep)
-	return nil
+	return sinks.Export(out)
 }
 
 // parseContentMix builds content-backed device classes from

@@ -284,3 +284,83 @@ func TestRunContentRejections(t *testing.T) {
 		t.Error("bad content weight accepted")
 	}
 }
+
+// TestRunTelemetrySmoke is the CI telemetry smoke: one fleet run with
+// -metrics/-trace writing to files must produce a parseable metric
+// snapshot and Chrome trace_event document, and the report bytes on
+// stdout must be identical with telemetry on or off (wall-clock fields
+// scrubbed — they differ run to run regardless of telemetry).
+func TestRunTelemetrySmoke(t *testing.T) {
+	runJSON := func(extra ...string) string {
+		var out bytes.Buffer
+		if err := run(context.Background(),
+			fleetArgs(append([]string{"-json", "-churn", "0.005"}, extra...)...), &out); err != nil {
+			t.Fatal(err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("report does not parse: %v", err)
+		}
+		delete(rep, "elapsed_ns")
+		delete(rep, "device_slots_per_sec")
+		norm, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(norm)
+	}
+
+	dir := t.TempDir()
+	metricsPath := dir + "/metrics.json"
+	tracePath := dir + "/trace.json"
+	off := runJSON()
+	on := runJSON("-metrics", metricsPath, "-trace", tracePath)
+	if off != on {
+		t.Errorf("telemetry changed the report:\noff: %s\non:  %s", off, on)
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metric snapshot does not parse: %v", err)
+	}
+	sessions := int64(0)
+	for _, c := range snap.Counters {
+		if c.Name == "fleet_sessions_total" {
+			sessions = c.Value
+		}
+	}
+	if sessions < 64 {
+		t.Errorf("fleet_sessions_total = %d, want >= 64", sessions)
+	}
+
+	raw, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			Name  string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace_event document does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace_event document is empty")
+	}
+	for _, ev := range trace.TraceEvents {
+		if ev.Phase == "" || ev.Name == "" {
+			t.Fatalf("malformed trace event: %+v", ev)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	qarvsim [-policy proposed|max|min|random|threshold|fixed:N]
 //	        [-v V] [-knee SLOT] [-slots T] [-samples N] [-service-frac F]
-//	        [-seed S] [-chart]
+//	        [-seed S] [-chart] [-metrics FILE] [-trace FILE]
 //	        [-devices N] [-alloc equal|proportional|maxweight|wrr]
 //	        [-net static|markov|trace[:FILE]|handoff]
 //	        [-content ASSET|FILE.ply]
@@ -42,6 +42,7 @@ import (
 	"strings"
 
 	"qarv"
+	"qarv/cmd/internal/telemetry"
 	"qarv/internal/trace"
 )
 
@@ -75,9 +76,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	allocName := fs.String("alloc", "", "multi-device budget split: equal, proportional, maxweight, wrr (default equal)")
 	netName := fs.String("net", "static", "network dynamics modulating the service: static, markov, trace[:FILE], handoff")
 	contentAsset := fs.String("content", "", "ground the run in a measured content profile: synthetic asset name or a .ply file (cost/utility become the asset's measured byte/PSNR ladders)")
+	sinks := telemetry.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sinks.Resolve()
 	if *allocName != "" && *devices <= 0 {
 		return fmt.Errorf("-alloc %q requires -devices", *allocName)
 	}
@@ -118,13 +121,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	if *devices > 0 {
-		return runMulti(ctx, out, scn, unit, *devices, *allocName, *policyName, *netName, *vOverride, uint64(*seed), *chart)
+		return runMulti(ctx, out, scn, sinks, unit, *devices, *allocName, *policyName, *netName, *vOverride, uint64(*seed), *chart)
 	}
 	p, err := buildPolicy(*policyName, *vOverride, scn, uint64(*seed))
 	if err != nil {
 		return err
 	}
-	opts := []qarv.Option{qarv.WithScenario(scn), qarv.WithPolicy(p)}
+	opts := []qarv.Option{qarv.WithScenario(scn), qarv.WithPolicy(p),
+		qarv.WithTelemetry(sinks.Registry), qarv.WithFlightRecorder(sinks.Recorder)}
 	svc, netLabel, err := netService(*netName, scn.ServiceRate, uint64(*seed))
 	if err != nil {
 		return err
@@ -192,14 +196,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return sinks.Export(out)
 }
 
 // runMulti drives the shared-edge multi-device scenario: n copies of the
 // chosen policy (each a fresh instance acting on purely local state)
 // contend for n× the calibrated budget under the named allocator,
 // optionally modulated by the -net dynamics.
-func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, unit string, n int, allocName, policyName, netName string, vOverride float64, seed uint64, chart bool) error {
+func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, sinks *telemetry.Sinks, unit string, n int, allocName, policyName, netName string, vOverride float64, seed uint64, chart bool) error {
 	if allocName == "" {
 		allocName = "equal"
 	}
@@ -221,7 +225,8 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, unit strin
 		}
 	}
 	opts := []qarv.Option{qarv.WithScenario(scn),
-		qarv.WithDevices(devs...), qarv.WithAllocator(allocator)}
+		qarv.WithDevices(devs...), qarv.WithAllocator(allocator),
+		qarv.WithTelemetry(sinks.Registry), qarv.WithFlightRecorder(sinks.Recorder)}
 	svc, netLabel, err := netService(netName, float64(n)*scn.ServiceRate, seed)
 	if err != nil {
 		return err
@@ -270,7 +275,7 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, unit strin
 			return err
 		}
 	}
-	return nil
+	return sinks.Export(out)
 }
 
 // netService builds the -net dynamics as a service process modulating

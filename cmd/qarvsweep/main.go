@@ -13,6 +13,7 @@
 //	          [-backend pool|fleet] [-sessions N] [-workers N]
 //	          [-samples N] [-slots T] [-knee K] [-seed S]
 //	          [-json] [-csv FILE] [-chart] [-quiet]
+//	          [-metrics FILE] [-trace FILE]
 //
 // Axis kinds: v (factors of the calibrated V), rate (service-rate
 // fractions), arrivals (Poisson means), slots (horizons), net
@@ -37,6 +38,7 @@ import (
 	"strings"
 
 	"qarv"
+	"qarv/cmd/internal/telemetry"
 	"qarv/internal/trace"
 )
 
@@ -66,6 +68,7 @@ type options struct {
 	csvPath  string
 	chart    bool
 	quiet    bool
+	sinks    *telemetry.Sinks
 }
 
 // axisFlags collects repeated -axis specs in order.
@@ -97,9 +100,11 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.csvPath, "csv", "", "also write the report table as CSV to FILE")
 	fs.BoolVar(&o.chart, "chart", false, "render an ASCII chart of the metrics over the grid")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the text table on stdout")
+	o.sinks = telemetry.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
+	o.sinks.Resolve()
 	o.seed = uint64(seed)
 	o.axes = axes
 	return o, nil
@@ -278,6 +283,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	sw.Workers = o.workers
 	sw.Slots = o.slots
 	sw.Seed = o.seed
+	sw.Metrics = o.sinks.Registry
+	sw.Recorder = o.sinks.Recorder
 	switch o.backend {
 	case "pool":
 		sw.Backend = qarv.BackendPool()
@@ -312,7 +319,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if o.jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		return o.sinks.Export(out)
 	}
 	if !o.quiet {
 		fmt.Fprintf(out, "sweep: %d cells over %s (backend %s, seed %d)\n\n",
@@ -332,5 +342,5 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return o.sinks.Export(out)
 }

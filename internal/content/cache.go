@@ -45,6 +45,11 @@ func Load(cfg Config) (*Profile, error) {
 		profileCache.m[key] = e
 	}
 	profileCache.mu.Unlock()
+	if ok {
+		// A hit event per memoized Load; the builder's own stage records
+		// come from Build on the one filling call.
+		cfg.Recorder.Event(0, "content", "cache_hit", -1, 1)
+	}
 	e.once.Do(func() { e.prof, e.err = Build(cfg) })
 	return e.prof, e.err
 }

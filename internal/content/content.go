@@ -26,6 +26,7 @@ import (
 
 	"qarv/internal/delay"
 	"qarv/internal/geom"
+	"qarv/internal/obs"
 	"qarv/internal/octree"
 	"qarv/internal/ply"
 	"qarv/internal/pointcloud"
@@ -90,6 +91,12 @@ type Config struct {
 	View View
 	// PSNRCap caps infinite/near-lossless PSNR in dB (default 100).
 	PSNRCap float64
+	// Recorder receives pipeline-stage records from Build (asset load,
+	// octree build, size and PSNR ladders) and cache-hit events from
+	// Load. Stage records are slot-free (Slot 0, ordered by sequence);
+	// the recorder never affects the built profile and deliberately does
+	// not participate in the Load cache key.
+	Recorder *obs.FlightRecorder
 }
 
 // Content errors; matchable with errors.Is.
@@ -252,15 +259,18 @@ func Build(cfg Config) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Recorder.Event(0, "content", "asset", -1, float64(cloud.Len()))
 	tree, err := octree.Build(cloud, c.CaptureDepth)
 	if err != nil {
 		return nil, fmt.Errorf("content: build octree: %w", err)
 	}
 	points := tree.Profile()
+	c.Recorder.Event(0, "content", "octree", -1, float64(points[c.CaptureDepth]))
 	sizes, err := tree.StreamSizeProfile(cloud.HasColors())
 	if err != nil {
 		return nil, fmt.Errorf("content: stream sizes: %w", err)
 	}
+	c.Recorder.Event(0, "content", "sizes", -1, float64(sizes[c.CaptureDepth]))
 	// The cost ladder must be strictly increasing for the controller;
 	// physical streams are, but guard against attribute-coding anomalies
 	// where a deeper level's color section shrinks more than its geometry
@@ -277,6 +287,7 @@ func Build(cfg Config) (*Profile, error) {
 	ladder := make([]LadderRow, len(c.Depths))
 	for i, d := range c.Depths {
 		ladder[i] = LadderRow{Depth: d, Points: points[d], Bytes: sizes[d], PSNR: measured[i]}
+		c.Recorder.Event(0, "content", "ladder", int64(d), measured[i])
 	}
 	return &Profile{
 		name:   name,

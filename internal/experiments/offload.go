@@ -10,6 +10,7 @@ import (
 	"qarv/internal/delay"
 	"qarv/internal/geom"
 	"qarv/internal/netem"
+	"qarv/internal/obs"
 	"qarv/internal/octree"
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
@@ -82,6 +83,13 @@ type OffloadParams struct {
 	// observable only through Backlog, and the sim invariant
 	// Q(t+1) = Q(t) + Arrived − Served does not hold.
 	Observer sim.Observer
+	// Metrics, when non-nil, accumulates the offload_* series (frames
+	// offered/lost, backlog-bytes and latency distributions).
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives slot-timestamped records: per-
+	// slot spans, depth changes, frame losses, and — via the cloned
+	// LinkDynamics — netem rate changes and outages.
+	Recorder *obs.FlightRecorder
 }
 
 func (p OffloadParams) withDefaults() OffloadParams {
@@ -329,6 +337,7 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 			seed = p.Seed
 		}
 		p.Dynamics = p.Dynamics.Clone()
+		p.Dynamics.Recorder = p.Recorder
 		p.Dynamics.Reseed(geom.NewRNG(seed ^ 0x64796e61)) // "dyna"
 	}
 
@@ -342,6 +351,8 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 		Depth:        make([]int, p.Slots),
 	}
 	var depthSum float64
+	tel := newOffloadTelemetry(p.Metrics, p.Recorder)
+	lastDepth := -1
 	cancel := queueing.NewCancelCheck(ctx, 0)
 	for t := 0; t < p.Slots; t++ {
 		if err := cancel.Check(); err != nil {
@@ -382,6 +393,21 @@ func OffloadContext(ctx context.Context, params OffloadParams) (*OffloadResult, 
 			lostBytes = frameBytes
 		} else {
 			res.Latency = append(res.Latency, tx.DeliveredSlot-float64(t))
+		}
+		if tel != nil {
+			tel.frames.Inc()
+			tel.backlog.Observe(q)
+			if tx.Dropped {
+				tel.lost.Inc()
+				tel.rec.Event(int64(t), "offload", "loss", -1, frameBytes)
+			} else {
+				tel.latency.Observe(tx.DeliveredSlot - float64(t))
+			}
+			if d != lastDepth {
+				tel.rec.Event(int64(t), "offload", "depth", -1, float64(d))
+				lastDepth = d
+			}
+			tel.rec.Span(int64(t), 1, "offload", "slot", -1, q)
 		}
 		if p.Observer != nil {
 			// Arrived reports the bytes offered to the uplink even for a

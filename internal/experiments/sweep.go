@@ -28,6 +28,7 @@ import (
 	"qarv/internal/delay"
 	"qarv/internal/fleet"
 	"qarv/internal/geom"
+	"qarv/internal/obs"
 	"qarv/internal/policy"
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
@@ -100,6 +101,14 @@ type SweepCell struct {
 	// ProfileName labels the fleet profile of fleet-backend cells
 	// (default: the cell's coordinate labels joined by "/").
 	ProfileName string
+
+	// metrics is the cell's private telemetry registry, created by Run
+	// from Sweep.Metrics (same accuracy, so the final merge can never
+	// mismatch); nil when the sweep records no metrics. recorder is the
+	// sweep-wide flight recorder shared by every cell (concurrency-safe;
+	// traces are diagnostics, not part of the determinism contract).
+	metrics  *obs.Registry
+	recorder *obs.FlightRecorder
 }
 
 // baseRate is the cell's scaled base capacity for sim and fleet cells.
@@ -221,6 +230,16 @@ type Sweep struct {
 	Slots int
 	// Seed is the base seed cells derive theirs from (CellSeed).
 	Seed uint64
+	// Metrics opts the sweep into telemetry: every cell runs with a
+	// private registry of the same accuracy, snapshotted onto its row
+	// (SweepRow.Metrics) and merged into this registry as cells finish.
+	// All merges are commutative, so the merged registry — like the
+	// report — is byte-identical at any worker count.
+	Metrics *obs.Registry
+	// Recorder receives flight records from every cell (slot spans,
+	// allocator decisions, netem and fleet lifecycle events). Shared
+	// across cells and safe for concurrent use.
+	Recorder *obs.FlightRecorder
 
 	scn       *Scenario
 	axes      []SweepAxis
@@ -381,7 +400,20 @@ func (sw *Sweep) Run(ctx context.Context) (*SweepReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if sw.Metrics != nil {
+					cells[i].metrics = obs.NewRegistryAccuracy(sw.Metrics.Accuracy())
+				}
+				cells[i].recorder = sw.Recorder
 				row, err := backend.run(ctx, sw, cells[i], coords[i])
+				if err == nil && sw.Metrics != nil {
+					row.Metrics = cells[i].metrics.Snapshot()
+					// Commutative fold (counters add, gauges max,
+					// sketches merge), so completion order — and hence
+					// worker count — cannot change the merged registry.
+					if merr := sw.Metrics.Merge(cells[i].metrics); merr != nil {
+						err = fmt.Errorf("merging telemetry: %w", merr)
+					}
+				}
 				if err != nil {
 					err = fmt.Errorf("experiments: sweep cell %d (%s): %w", i, coordKey(coords[i]), err)
 					mu.Lock()
@@ -531,6 +563,8 @@ func (b fleetBackend) run(ctx context.Context, sw *Sweep, c *SweepCell, coords [
 		Slots:    sw.horizon(c),
 		Seed:     c.Seed,
 		Profiles: []fleet.Profile{prof},
+		Metrics:  c.metrics,
+		Recorder: c.recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -570,6 +604,8 @@ func runSimCell(ctx context.Context, sw *Sweep, c *SweepCell) (*SweepRow, error)
 		Utility:  c.utility(),
 		Service:  c.buildService(c.baseRate(), svcRNG),
 		Slots:    sw.horizon(c),
+		Metrics:  c.metrics,
+		Recorder: c.recorder,
 	}
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
@@ -633,6 +669,8 @@ func runMultiCell(ctx context.Context, sw *Sweep, c *SweepCell) (*SweepRow, erro
 		Service:   c.buildService(budget, rng.Split()),
 		Allocator: a,
 		Slots:     sw.horizon(c),
+		Metrics:   c.metrics,
+		Recorder:  c.recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -852,6 +890,11 @@ type SweepRow struct {
 	Verdict string `json:"verdict"`
 	// Verdicts tallies per-session classifications.
 	Verdicts fleet.VerdictCounts `json:"verdicts"`
+	// Metrics is the cell's telemetry snapshot when Sweep.Metrics was
+	// set; nil otherwise. Excluded from the row's JSON so telemetry-on
+	// and telemetry-off reports marshal byte-identically — export the
+	// merged sweep registry (or this snapshot) separately.
+	Metrics *obs.Snapshot `json:"-"`
 	// Detail is the full backend result (not serialized).
 	Detail *SweepCellResult `json:"-"`
 }

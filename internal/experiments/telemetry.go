@@ -1,0 +1,43 @@
+package experiments
+
+import "qarv/internal/obs"
+
+// Metric names the offload control loop registers (the sim-backed
+// paths reuse the sim_* series registered by internal/sim).
+const (
+	// MetricOffloadFrames counts frames offered to the uplink.
+	MetricOffloadFrames = "offload_frames_total"
+	// MetricOffloadLost counts frames dropped by link-layer loss.
+	MetricOffloadLost = "offload_frames_lost_total"
+	// MetricOffloadBacklog is the per-slot uplink-backlog distribution
+	// in bytes.
+	MetricOffloadBacklog = "offload_backlog_bytes"
+	// MetricOffloadLatency is the delivered-frame end-to-end latency
+	// distribution in slots.
+	MetricOffloadLatency = "offload_latency_slots"
+)
+
+// offloadTelemetry holds pre-resolved instrument handles for the
+// offload slot loop; nil when telemetry is disabled.
+type offloadTelemetry struct {
+	rec     *obs.FlightRecorder
+	frames  *obs.Counter
+	lost    *obs.Counter
+	backlog *obs.Histogram
+	latency *obs.Histogram
+}
+
+// newOffloadTelemetry resolves handles against reg; nil when both
+// sinks are off.
+func newOffloadTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) *offloadTelemetry {
+	if reg == nil && rec == nil {
+		return nil
+	}
+	return &offloadTelemetry{
+		rec:     rec,
+		frames:  reg.Counter(MetricOffloadFrames),
+		lost:    reg.Counter(MetricOffloadLost),
+		backlog: reg.Histogram(MetricOffloadBacklog),
+		latency: reg.Histogram(MetricOffloadLatency),
+	}
+}

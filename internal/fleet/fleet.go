@@ -44,6 +44,7 @@ import (
 
 	"qarv/internal/delay"
 	"qarv/internal/geom"
+	"qarv/internal/obs"
 	"qarv/internal/policy"
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
@@ -101,6 +102,19 @@ type Spec struct {
 	// Accuracy is the quantile sketches' relative error bound; <= 0
 	// takes stats.DefaultSketchAccuracy (1%).
 	Accuracy float64
+	// Metrics, when non-nil, enables telemetry: each shard accumulates
+	// the fleet_* series into a private registry; the shard registries
+	// are merged in seat order into this one after the run, and the
+	// merged snapshot lands on Report.Metrics. Because every fleet
+	// instrument is an exact integer count or integer-valued histogram,
+	// the merged state is byte-identical across shard counts.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives session lifecycle records (cat
+	// "fleet": "session" on arrival, "depart" on churn departure), one
+	// track per seat. Shards share the recorder; it is
+	// concurrency-safe, but ring eviction order under contention is
+	// scheduling-dependent, so traces are diagnostics, not reports.
+	Recorder *obs.FlightRecorder
 }
 
 // Spec validation errors.
@@ -246,7 +260,14 @@ func RunContext(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	//qarv:allow nondeterminism Elapsed is reporting-only bench metadata; no simulated state derives from it
 	elapsed := time.Since(start)
-	return merged.report(&spec, nShards, elapsed), nil
+	rep := merged.report(&spec, nShards, elapsed)
+	if spec.Metrics != nil {
+		rep.Metrics = merged.metrics.Snapshot()
+		if err := spec.Metrics.Merge(merged.metrics); err != nil {
+			return nil, fmt.Errorf("fleet: merging telemetry: %w", err)
+		}
+	}
+	return rep, nil
 }
 
 // runShard simulates seats [lo, hi) sequentially, accumulating into one
@@ -255,6 +276,7 @@ func runShard(ctx context.Context, spec *Spec, cum []float64, lo, hi int) (*flee
 	acc := newFleetAccum(spec)
 	cancel := queueing.NewCancelCheck(ctx, 0)
 	sess := newSessionRunner() // reused across sessions (buffers recycled)
+	tel := newFleetTelemetry(acc.metrics, spec.Recorder)
 	for seat := lo; seat < hi; seat++ {
 		rng := geom.NewRNG(SeatSeed(spec.Seed, seat))
 		slot := 0
@@ -279,6 +301,10 @@ func runShard(ctx context.Context, spec *Spec, cum []float64, lo, hi int) (*flee
 				return nil, fmt.Errorf("fleet: seat %d profile %q: %w", seat, prof.Name, err)
 			}
 			pa := acc.profile(prof.Name)
+			completed0, dropped0 := pa.framesCompleted, pa.framesDropped
+			if tel != nil {
+				tel.rec.Event(int64(slot), "fleet", "session", int64(seat), float64(pi))
+			}
 			for t := 0; t < life; t++ {
 				if err := cancel.Check(); err != nil {
 					return nil, fmt.Errorf("fleet: canceled at seat %d slot %d: %w", seat, slot+t, err)
@@ -286,6 +312,17 @@ func runShard(ctx context.Context, spec *Spec, cum []float64, lo, hi int) (*flee
 				sess.step(t, pa)
 			}
 			sess.finish(pa, departs)
+			if tel != nil {
+				tel.sessions.Inc()
+				tel.deviceSlots.Add(int64(life))
+				tel.framesCompleted.Add(pa.framesCompleted - completed0)
+				tel.framesDropped.Add(pa.framesDropped - dropped0)
+				tel.lifetime.Observe(float64(life))
+				if departs {
+					tel.departures.Inc()
+					tel.rec.Event(int64(slot+life), "fleet", "depart", int64(seat), float64(life))
+				}
+			}
 			slot += life
 		}
 	}

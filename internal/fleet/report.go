@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"qarv/internal/obs"
 	"qarv/internal/stats"
 )
 
@@ -96,6 +97,11 @@ type Report struct {
 	// Throughput of the engine itself (wall clock; not deterministic).
 	Elapsed           time.Duration `json:"elapsed_ns"`
 	DeviceSlotsPerSec float64       `json:"device_slots_per_sec"`
+	// Metrics is the merged telemetry snapshot when Spec.Metrics was
+	// set; nil otherwise. Deliberately excluded from the report's JSON
+	// so telemetry-on and telemetry-off reports marshal byte-identically
+	// — export it separately with Snapshot.EncodeJSON or WriteProm.
+	Metrics *obs.Snapshot `json:"-"`
 }
 
 // profileAccum is one device class's streaming accumulator within a
@@ -160,13 +166,21 @@ func (p *profileAccum) report(name string) ProfileReport {
 type fleetAccum struct {
 	accuracy float64
 	profiles map[string]*profileAccum
+	// metrics is the shard's telemetry registry; nil when Spec.Metrics
+	// is nil. Created with the target registry's accuracy so the final
+	// merge can never mismatch.
+	metrics *obs.Registry
 }
 
 func newFleetAccum(spec *Spec) *fleetAccum {
-	return &fleetAccum{
+	a := &fleetAccum{
 		accuracy: spec.Accuracy,
 		profiles: make(map[string]*profileAccum, len(spec.Profiles)),
 	}
+	if spec.Metrics != nil {
+		a.metrics = obs.NewRegistryAccuracy(spec.Metrics.Accuracy())
+	}
+	return a
 }
 
 func (a *fleetAccum) profile(name string) *profileAccum {
@@ -192,6 +206,9 @@ func (a *fleetAccum) merge(o *fleetAccum) error {
 		if err := a.profile(name).merge(o.profiles[name]); err != nil {
 			return fmt.Errorf("fleet: merging profile %q: %w", name, err)
 		}
+	}
+	if err := a.metrics.Merge(o.metrics); err != nil {
+		return fmt.Errorf("fleet: merging shard telemetry: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,55 @@
+package fleet
+
+import "qarv/internal/obs"
+
+// Metric names the fleet engine registers. Everything is an exact
+// integer count or an integer-valued histogram, so the merged registry
+// — and its snapshot — is byte-identical across shard counts, unlike
+// the float-sum-backed Mean/DroppedWork report fields.
+const (
+	// MetricSessions counts sessions simulated (seats plus churn
+	// backfills).
+	MetricSessions = "fleet_sessions_total"
+	// MetricDepartures counts sessions that departed early via churn.
+	MetricDepartures = "fleet_departures_total"
+	// MetricDeviceSlots counts simulated device-time in slots.
+	MetricDeviceSlots = "fleet_device_slots_total"
+	// MetricFramesCompleted counts frames served to completion.
+	MetricFramesCompleted = "fleet_frames_completed_total"
+	// MetricFramesDropped counts frames lost to bounded-backlog
+	// overflow.
+	MetricFramesDropped = "fleet_frames_dropped_total"
+	// MetricSessionLifetime is the session-lifetime distribution in
+	// slots.
+	MetricSessionLifetime = "fleet_session_lifetime_slots"
+)
+
+// fleetTelemetry holds a shard's pre-resolved instrument handles plus
+// the (shared, concurrency-safe) flight recorder. Nil when telemetry
+// is disabled.
+type fleetTelemetry struct {
+	rec             *obs.FlightRecorder
+	sessions        *obs.Counter
+	departures      *obs.Counter
+	deviceSlots     *obs.Counter
+	framesCompleted *obs.Counter
+	framesDropped   *obs.Counter
+	lifetime        *obs.Histogram
+}
+
+// newFleetTelemetry resolves handles against a shard-local registry;
+// nil when both sinks are off.
+func newFleetTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) *fleetTelemetry {
+	if reg == nil && rec == nil {
+		return nil
+	}
+	return &fleetTelemetry{
+		rec:             rec,
+		sessions:        reg.Counter(MetricSessions),
+		departures:      reg.Counter(MetricDepartures),
+		deviceSlots:     reg.Counter(MetricDeviceSlots),
+		framesCompleted: reg.Counter(MetricFramesCompleted),
+		framesDropped:   reg.Counter(MetricFramesDropped),
+		lifetime:        reg.Histogram(MetricSessionLifetime),
+	}
+}

@@ -20,6 +20,12 @@ var deterministicPkgs = map[string]bool{
 	"internal/policy":      true,
 	"internal/alloc":       true,
 	"internal/stats":       true,
+	// The telemetry layer: metric snapshots are part of the determinism
+	// contract (byte-identical per seed at any shard or worker count),
+	// so the registry and recorder must never read clocks or leak map
+	// order. The wall-clock side (Prometheus/pprof HTTP) lives in the
+	// same package but reads no clocks itself.
+	"internal/obs": true,
 	// The content pipeline: measured byte/PSNR ladders feed controller
 	// calibration, so one nondeterministic byte here breaks every seed
 	// pin above it (same seed ⇒ identical profile ⇒ identical report).
@@ -62,7 +68,7 @@ var NondeterminismAnalyzer = &Analyzer{
 	Name: "nondeterminism",
 	Doc: "forbid time.Now/time.Since and math/rand everywhere, and map iteration " +
 		"feeding ordered output in the deterministic packages (sim, fleet, experiments, " +
-		"queueing, netem, policy, alloc, stats, and the content pipeline: content, octree, " +
+		"queueing, netem, policy, alloc, stats, obs, and the content pipeline: content, octree, " +
 		"synthetic, render, quality, ply, pointcloud); wall-clock sites carry //qarv:allow with a reason",
 	Run: runNondeterminism,
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"qarv/internal/geom"
+	"qarv/internal/obs"
 )
 
 // BandwidthProcess yields a link's serialization capacity per slot —
@@ -470,6 +471,15 @@ type LinkDynamics struct {
 	// for the link's jitter/loss RNG). Zero derives them from the
 	// capture seed, which is what keeps qarv.WithSeed byte-identical.
 	Seed uint64
+	// Recorder, when non-nil, receives a "netem" flight-recorder event
+	// at every rate change Apply drives: "rate" with the new bandwidth,
+	// or "outage" (value 0) when the process goes dark. Recording reads
+	// only the slot index, so it never perturbs the run.
+	Recorder *obs.FlightRecorder
+
+	// lastRate/haveRate dedupe Recorder events to actual changes.
+	lastRate float64
+	haveRate bool
 }
 
 // ErrNilProcess reports a LinkDynamics without a bandwidth process.
@@ -490,6 +500,14 @@ func (d *LinkDynamics) Validate() error {
 // transmitting in the slot, once per slot.
 func (d *LinkDynamics) Apply(l *Link, t int) {
 	rate := d.Process.Bandwidth(t)
+	if d.Recorder != nil && (!d.haveRate || rate != d.lastRate) {
+		name := "rate"
+		if rate <= 0 {
+			name = "outage"
+		}
+		d.Recorder.Event(int64(t), "netem", name, -1, rate)
+		d.lastRate, d.haveRate = rate, true
+	}
 	if rate > 0 {
 		// rate was validated finite; SetBandwidth cannot fail here.
 		_ = l.SetBandwidth(rate)
@@ -507,6 +525,7 @@ func (d *LinkDynamics) Apply(l *Link, t int) {
 // from rng (stateless processes are left untouched), resetting chain
 // state so a fresh run replays the same dynamics.
 func (d *LinkDynamics) Reseed(rng *geom.RNG) {
+	d.haveRate = false
 	if r, ok := d.Process.(interface{ Reseed(*geom.RNG) }); ok {
 		r.Reseed(rng.Split())
 	}

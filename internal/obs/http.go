@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// This file is the wall-clock boundary of the telemetry layer: HTTP
+// exposition for long-running servers (cmd/qarvedge). Serving requests
+// is inherently wall-clock-side, but nothing here reads the clock
+// itself — handlers only snapshot registries — so the package stays in
+// qarvcheck's deterministic set with no exceptions needed here. The
+// pprof profiles do their own timing inside the runtime.
+
+// Handler returns an http.Handler serving the registry's current state
+// in Prometheus text exposition format. Each request takes a fresh
+// snapshot, so the output tracks the live registry.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Snapshot().WriteProm(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+}
+
+// NewDebugMux returns a mux serving the registry at /metrics
+// (Prometheus text format) and the runtime profiles under
+// /debug/pprof/ — an explicit mux rather than http.DefaultServeMux so
+// importing obs never mutates global server state.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Value is the exact accumulated count.
+	Value int64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Value is the maximum recorded value.
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. It carries only
+// order-insensitive statistics: count, min, max, and sketch quantiles.
+// Sum and mean are deliberately absent — float addition regroups when
+// the observation stream is split across shards, so including them
+// would break the byte-identical-across-shard-counts guarantee.
+type HistogramValue struct {
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Count is the exact number of observations.
+	Count uint64 `json:"count"`
+	// Min and Max bound the observed values (0 when Count is 0).
+	Min float64 `json:"min"`
+	// Max is the largest observed value.
+	Max float64 `json:"max"`
+	// P50, P90, P95, P99 are sketch quantile estimates within the
+	// registry's configured relative accuracy.
+	P50 float64 `json:"p50"`
+	// P90 is the 0.90 quantile estimate.
+	P90 float64 `json:"p90"`
+	// P95 is the 0.95 quantile estimate.
+	P95 float64 `json:"p95"`
+	// P99 is the 0.99 quantile estimate.
+	P99 float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time, name-sorted export of a Registry. For
+// a given seed it is byte-identical (via EncodeJSON or WriteProm) no
+// matter how many shards or workers produced the underlying registry.
+type Snapshot struct {
+	// Counters, sorted by name.
+	Counters []CounterValue `json:"counters,omitempty"`
+	// Gauges, sorted by name.
+	Gauges []GaugeValue `json:"gauges,omitempty"`
+	// Histograms, sorted by name.
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot exports the registry's current state in sorted name order.
+// Nil on a nil receiver.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	s := &Snapshot{}
+	for _, name := range sortedKeys(counters) {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: counters[name].Value()})
+	}
+	for _, name := range sortedKeys(gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		h.mu.Lock()
+		hv := HistogramValue{
+			Name:  name,
+			Count: h.sk.Count(),
+		}
+		if hv.Count > 0 {
+			hv.Min = h.sk.Min()
+			hv.Max = h.sk.Max()
+			hv.P50 = h.sk.Quantile(0.50)
+			hv.P90 = h.sk.Quantile(0.90)
+			hv.P95 = h.sk.Quantile(0.95)
+			hv.P99 = h.sk.Quantile(0.99)
+		}
+		h.mu.Unlock()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	return s
+}
+
+// EncodeJSON writes the snapshot as indented JSON. A nil snapshot
+// encodes as "null".
+func (s *Snapshot) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteProm writes the snapshot in Prometheus text exposition format:
+// counters as `# TYPE <name> counter`, gauges as gauges, histograms as
+// summaries with quantile labels plus _count, _min, and _max series.
+// Output order is the snapshot's sorted order, so it is deterministic.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %v\n", g.Name, g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "# TYPE %s summary\n", h.Name)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %v\n", h.Name, h.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %v\n", h.Name, h.P90)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %v\n", h.Name, h.P95)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %v\n", h.Name, h.P99)
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_min %v\n", h.Name, h.Min)
+		fmt.Fprintf(&b, "%s_max %v\n", h.Name, h.Max)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("obs: write exposition: %w", err)
+	}
+	return nil
+}

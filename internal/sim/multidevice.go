@@ -7,6 +7,7 @@ import (
 
 	"qarv/internal/alloc"
 	"qarv/internal/delay"
+	"qarv/internal/obs"
 	"qarv/internal/policy"
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
@@ -53,6 +54,13 @@ type MultiConfig struct {
 	// Observer, when non-nil, receives every device's slot event (the
 	// event's Device field indexes into Devices).
 	Observer Observer
+	// Metrics, when non-nil, accumulates run telemetry across all
+	// devices plus the alloc_* allocator series into the registry.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives slot-timestamped records; each
+	// device is its own track, and allocator decisions land on the
+	// "alloc" category.
+	Recorder *obs.FlightRecorder
 }
 
 // Multi-device validation errors.
@@ -123,6 +131,14 @@ func RunMultiContext(ctx context.Context, cfg MultiConfig) (*MultiResult, error)
 	for i, dev := range cfg.Devices {
 		runners[i] = newDeviceRunner(dev.Policy, dev.Cost, dev.Utility,
 			dev.Arrivals, dev.MaxBacklog, cfg.Slots)
+		runners[i].setTelemetry(cfg.Metrics, cfg.Recorder)
+	}
+	var allocSlots *obs.Counter
+	var allocShare *obs.Histogram
+	telemetryOn := cfg.Metrics != nil || cfg.Recorder != nil
+	if telemetryOn {
+		allocSlots = cfg.Metrics.Counter(MetricAllocSlots)
+		allocShare = cfg.Metrics.Histogram(MetricAllocShare)
 	}
 
 	backlogs := make([]float64, n)
@@ -137,6 +153,13 @@ func RunMultiContext(ctx context.Context, cfg MultiConfig) (*MultiResult, error)
 			backlogs[i] = r.backlog.Level()
 		}
 		allocator.Allocate(t, budget, backlogs, shares)
+		if telemetryOn {
+			allocSlots.Inc()
+			for i, s := range shares {
+				allocShare.Observe(s)
+				cfg.Recorder.Event(int64(t), "alloc", allocator.Name(), int64(i), s)
+			}
+		}
 		for i, r := range runners {
 			r.step(t, shares[i], i, cfg.Observer)
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"qarv/internal/delay"
+	"qarv/internal/obs"
 	"qarv/internal/policy"
 	"qarv/internal/quality"
 	"qarv/internal/queueing"
@@ -64,6 +65,13 @@ type Config struct {
 	MaxBacklog float64
 	// Observer, when non-nil, receives every slot's event as it happens.
 	Observer Observer
+	// Metrics, when non-nil, accumulates run telemetry (slot counters,
+	// backlog/utility/sojourn distributions) into the registry. Nil
+	// disables metrics at the cost of one pointer check per slot.
+	Metrics *obs.Registry
+	// Recorder, when non-nil, receives slot-timestamped flight-recorder
+	// records: per-slot spans, depth changes, and drop events.
+	Recorder *obs.FlightRecorder
 }
 
 // Config validation errors.
@@ -157,6 +165,11 @@ type deviceRunner struct {
 
 	utilSum    float64
 	backlogSum float64
+
+	// tel is nil unless telemetry is enabled (see setTelemetry);
+	// lastDepth lets the recorder log only depth *changes*.
+	tel       *telemetry
+	lastDepth int
 }
 
 func newDeviceRunner(p policy.Policy, cost delay.CostModel, utility quality.UtilityModel,
@@ -218,14 +231,16 @@ func (r *deviceRunner) step(t int, capacity float64, device int, obs Observer) {
 	res.Served[t] = served
 	droppedNow := r.backlog.TotalDropped() - droppedBefore
 	admitted := n
+	droppedFrames := 0
 	if droppedNow > 0 {
-		dropped, _ := r.frames.DropTail(droppedNow)
-		res.DroppedFrames += dropped
-		if admitted -= dropped; admitted < 0 {
+		droppedFrames, _ = r.frames.DropTail(droppedNow)
+		res.DroppedFrames += droppedFrames
+		if admitted -= droppedFrames; admitted < 0 {
 			admitted = 0
 		}
 	}
-	for _, c := range r.frames.Serve(served, t) {
+	completed := r.frames.Serve(served, t)
+	for _, c := range completed {
 		res.Completed = append(res.Completed, c)
 		res.Little.ObserveCompletion(c.Sojourn)
 	}
@@ -235,6 +250,26 @@ func (r *deviceRunner) step(t int, capacity float64, device int, obs Observer) {
 	// complete, so offering them to the estimator would fake a
 	// Little's-law violation in exactly the drop regime.
 	res.Little.ObserveSlot(float64(r.frames.Len()), admitted)
+	if tel := r.tel; tel != nil {
+		tel.slots.Inc()
+		tel.framesArrived.Add(int64(n))
+		tel.framesCompleted.Add(int64(len(completed)))
+		tel.backlog.Observe(q)
+		tel.served.Observe(served)
+		tel.utility.Observe(u)
+		for _, c := range completed {
+			tel.sojourn.Observe(float64(c.Sojourn))
+		}
+		if droppedNow > 0 {
+			tel.framesDropped.Add(int64(droppedFrames))
+			tel.rec.Event(int64(t), "sim", "drop", int64(device), droppedNow)
+		}
+		if d != r.lastDepth {
+			tel.rec.Event(int64(t), "sim", "depth", int64(device), float64(d))
+			r.lastDepth = d
+		}
+		tel.rec.Span(int64(t), 1, "sim", "slot", int64(device), q)
+	}
 	if obs != nil {
 		obs(SlotEvent{
 			Slot: t, Device: device, Backlog: q, Depth: d,
@@ -271,6 +306,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	dev := newDeviceRunner(cfg.Policy, cfg.Cost, cfg.Utility, cfg.Arrivals, cfg.MaxBacklog, cfg.Slots)
+	dev.setTelemetry(cfg.Metrics, cfg.Recorder)
 	cancel := queueing.NewCancelCheck(ctx, 0)
 	for t := 0; t < cfg.Slots; t++ {
 		if err := cancel.Check(); err != nil {

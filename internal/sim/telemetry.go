@@ -1,0 +1,72 @@
+package sim
+
+import "qarv/internal/obs"
+
+// Metric names the sim layer registers. Shared-uplink runs add the
+// alloc_* series; the offload path (internal/experiments) registers
+// its own offload_* series against the same registry.
+const (
+	// MetricSlots counts device-slots stepped.
+	MetricSlots = "sim_slots_total"
+	// MetricFramesArrived counts frames offered by the arrival process.
+	MetricFramesArrived = "sim_frames_arrived_total"
+	// MetricFramesCompleted counts frames served to completion.
+	MetricFramesCompleted = "sim_frames_completed_total"
+	// MetricFramesDropped counts frames removed by bounded-backlog
+	// overflow.
+	MetricFramesDropped = "sim_frames_dropped_total"
+	// MetricBacklog is the per-slot backlog distribution Q(t).
+	MetricBacklog = "sim_backlog"
+	// MetricServed is the per-slot served-work distribution.
+	MetricServed = "sim_served"
+	// MetricUtility is the per-slot utility distribution pa(d(t)).
+	MetricUtility = "sim_utility"
+	// MetricSojourn is the per-frame sojourn distribution in slots.
+	MetricSojourn = "sim_sojourn_slots"
+	// MetricAllocSlots counts allocator invocations (shared runs).
+	MetricAllocSlots = "alloc_slots_total"
+	// MetricAllocShare is the per-device per-slot share distribution.
+	MetricAllocShare = "alloc_share"
+)
+
+// telemetry holds pre-resolved instrument handles so the slot loop
+// never does a map lookup. A nil *telemetry is the disabled path: one
+// pointer check per slot, no allocations. Individual handles may be
+// nil (recorder-only runs); obs instruments no-op on nil.
+type telemetry struct {
+	rec             *obs.FlightRecorder
+	slots           *obs.Counter
+	framesArrived   *obs.Counter
+	framesCompleted *obs.Counter
+	framesDropped   *obs.Counter
+	backlog         *obs.Histogram
+	served          *obs.Histogram
+	utility         *obs.Histogram
+	sojourn         *obs.Histogram
+}
+
+// newTelemetry resolves instrument handles against reg; nil when both
+// telemetry sinks are disabled.
+func newTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) *telemetry {
+	if reg == nil && rec == nil {
+		return nil
+	}
+	return &telemetry{
+		rec:             rec,
+		slots:           reg.Counter(MetricSlots),
+		framesArrived:   reg.Counter(MetricFramesArrived),
+		framesCompleted: reg.Counter(MetricFramesCompleted),
+		framesDropped:   reg.Counter(MetricFramesDropped),
+		backlog:         reg.Histogram(MetricBacklog),
+		served:          reg.Histogram(MetricServed),
+		utility:         reg.Histogram(MetricUtility),
+		sojourn:         reg.Histogram(MetricSojourn),
+	}
+}
+
+// setTelemetry attaches telemetry sinks to the runner; must be called
+// before the first step.
+func (r *deviceRunner) setTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) {
+	r.tel = newTelemetry(reg, rec)
+	r.lastDepth = -1
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"qarv/internal/obs"
 	"qarv/internal/octree"
 )
 
@@ -18,6 +20,14 @@ type ServerConfig struct {
 	BytesPerSecond float64
 	// Validate decodes every received stream and rejects corrupt frames.
 	Validate bool
+	// Metrics receives the stream_* counters (connections, frames,
+	// bytes, corrupt frames, acks, backpressure stalls). Nil disables
+	// metric collection. Serve it with obs.Handler or obs.NewDebugMux.
+	Metrics *obs.Registry
+	// Recorder receives connection-lifecycle and stall records. This is
+	// the live wire, so records are stamped with wall-clock microseconds
+	// since server start rather than virtual slots.
+	Recorder *obs.FlightRecorder
 }
 
 // ErrServerClosed reports a clean, caller-initiated shutdown: Wait
@@ -30,11 +40,14 @@ var ErrServerClosed = errors.New("stream: server closed")
 // frame processing at the configured throughput, and acknowledges each
 // frame with the cumulative processed byte count.
 type Server struct {
-	cfg  ServerConfig
-	ln   net.Listener
-	stop chan struct{}
-	wg   sync.WaitGroup
-	done chan struct{} // closed when the accept loop exits
+	cfg     ServerConfig
+	ln      net.Listener
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	done    chan struct{} // closed when the accept loop exits
+	tel     *serverTelemetry
+	start   time.Time    // server start, base for flight-record stamps
+	connSeq atomic.Int64 // connection ids for flight-record tracks
 
 	mu          sync.Mutex
 	closed      bool
@@ -51,6 +64,9 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("stream: listen: %w", err)
 	}
 	s := &Server{cfg: cfg, ln: ln, stop: make(chan struct{}), done: make(chan struct{})}
+	s.tel = newServerTelemetry(cfg.Metrics, cfg.Recorder)
+	//qarv:allow nondeterminism live-server trace timestamps are wall-clock by design
+	s.start = time.Now()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -131,9 +147,27 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// sinceMicros returns wall-clock microseconds since server start — the
+// Slot stamp for this package's flight records. The simulator records
+// virtual slots; a live server has no slot clock, so traces use real
+// time and are diagnostics only, never part of a deterministic report.
+func (s *Server) sinceMicros() int64 {
+	//qarv:allow nondeterminism live-server trace timestamps are wall-clock by design
+	return time.Since(s.start).Microseconds()
+}
+
 // handle processes one device connection until EOF or shutdown.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	connID := s.connSeq.Add(1)
+	var served uint64
+	if tel := s.tel; tel != nil {
+		tel.connections.Inc()
+		tel.rec.Event(s.sinceMicros(), "stream", "accept", connID, 0)
+		defer func() {
+			tel.rec.Event(s.sinceMicros(), "stream", "close", connID, float64(served))
+		}()
+	}
 	// A watcher unblocks the read loop on shutdown by expiring the
 	// connection deadline. Its lifetime is strictly inside handle's (we
 	// join it before returning), so it needs no WaitGroup entry of its
@@ -154,7 +188,6 @@ func (s *Server) handle(conn net.Conn) {
 		<-watcherDone
 	}()
 
-	var served uint64
 	var debt time.Duration // processing time owed by pacing
 	//qarv:allow nondeterminism service pacing on a live connection is wall-clock by design
 	lastPace := time.Now()
@@ -171,6 +204,10 @@ func (s *Server) handle(conn net.Conn) {
 				s.mu.Lock()
 				s.corruptSeen++
 				s.mu.Unlock()
+				if tel := s.tel; tel != nil {
+					tel.corrupt.Inc()
+					tel.rec.Event(s.sinceMicros(), "stream", "corrupt", connID, float64(len(frame.Payload)))
+				}
 				continue // corrupt frames are dropped, not acked
 			}
 		}
@@ -181,6 +218,12 @@ func (s *Server) handle(conn net.Conn) {
 			//qarv:allow nondeterminism service pacing on a live connection is wall-clock by design
 			elapsed := time.Since(lastPace)
 			if debt > elapsed {
+				if tel := s.tel; tel != nil {
+					stall := debt - elapsed
+					tel.stalls.Inc()
+					tel.stallMicros.Observe(float64(stall.Microseconds()))
+					tel.rec.Span(s.sinceMicros(), stall.Microseconds(), "stream", "stall", connID, float64(len(frame.Payload)))
+				}
 				time.Sleep(debt - elapsed)
 			}
 			//qarv:allow nondeterminism service pacing on a live connection is wall-clock by design
@@ -196,8 +239,15 @@ func (s *Server) handle(conn net.Conn) {
 		s.framesSeen++
 		s.bytesSeen += uint64(len(frame.Payload))
 		s.mu.Unlock()
+		if tel := s.tel; tel != nil {
+			tel.frames.Inc()
+			tel.bytes.Add(int64(len(frame.Payload)))
+		}
 		if err := WriteAck(conn, Ack{FrameID: frame.ID, ServedBytes: served}); err != nil {
 			return
+		}
+		if tel := s.tel; tel != nil {
+			tel.acks.Inc()
 		}
 	}
 }

@@ -1,0 +1,57 @@
+package stream
+
+import "qarv/internal/obs"
+
+// Metric names the edge server registers. Unlike the simulator's
+// slot-indexed series, these count live wire traffic; flight records
+// from this package carry wall-clock microseconds since server start in
+// the Slot field (see Server.sinceMicros).
+const (
+	// MetricConnections counts accepted device connections.
+	MetricConnections = "stream_connections_total"
+	// MetricFrames counts frames received and served.
+	MetricFrames = "stream_frames_total"
+	// MetricBytes counts payload bytes received and served.
+	MetricBytes = "stream_bytes_total"
+	// MetricCorrupt counts frames rejected by validation.
+	MetricCorrupt = "stream_corrupt_total"
+	// MetricAcks counts acknowledgements written back to devices.
+	MetricAcks = "stream_acks_total"
+	// MetricStalls counts backpressure stalls: pacing sleeps taken
+	// because a device sent faster than BytesPerSecond.
+	MetricStalls = "stream_backpressure_stalls_total"
+	// MetricStallMicros is the distribution of stall durations in
+	// microseconds.
+	MetricStallMicros = "stream_stall_micros"
+)
+
+// serverTelemetry holds pre-resolved instrument handles for the edge
+// server's hot paths; nil when telemetry is disabled.
+type serverTelemetry struct {
+	rec         *obs.FlightRecorder
+	connections *obs.Counter
+	frames      *obs.Counter
+	bytes       *obs.Counter
+	corrupt     *obs.Counter
+	acks        *obs.Counter
+	stalls      *obs.Counter
+	stallMicros *obs.Histogram
+}
+
+// newServerTelemetry resolves handles against reg; nil when both sinks
+// are off.
+func newServerTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) *serverTelemetry {
+	if reg == nil && rec == nil {
+		return nil
+	}
+	return &serverTelemetry{
+		rec:         rec,
+		connections: reg.Counter(MetricConnections),
+		frames:      reg.Counter(MetricFrames),
+		bytes:       reg.Counter(MetricBytes),
+		corrupt:     reg.Counter(MetricCorrupt),
+		acks:        reg.Counter(MetricAcks),
+		stalls:      reg.Counter(MetricStalls),
+		stallMicros: reg.Histogram(MetricStallMicros),
+	}
+}

@@ -27,6 +27,8 @@ type sessionConfig struct {
 	observers  []func(SlotEvent)
 	seed       uint64
 	seedSet    bool
+	metrics    *MetricsRegistry
+	recorder   *FlightRecorder
 }
 
 // WithScenario seeds the session from a calibrated Scenario: its cost,
@@ -167,4 +169,27 @@ func WithSeed(seed uint64) Option {
 // trajectories. Multiple observers are invoked in registration order.
 func WithObserver(fn func(SlotEvent)) Option {
 	return func(c *sessionConfig) { c.observers = append(c.observers, fn) }
+}
+
+// WithTelemetry attaches a metrics registry: the run loop folds its
+// per-slot counters and sketch-backed histograms (sim_* series for sim
+// and multi sessions, offload_* for offload sessions) into r. Telemetry
+// never changes what the session computes — reports are byte-identical
+// with and without it — and a session run with a nil registry pays only
+// a pointer check per slot. Registries merge losslessly (Merge) and
+// snapshot deterministically (Snapshot), so one registry may be shared
+// across sessions or kept per run and folded afterwards.
+func WithTelemetry(r *MetricsRegistry) Option {
+	return func(c *sessionConfig) { c.metrics = r }
+}
+
+// WithFlightRecorder attaches a flight recorder: a fixed-size ring that
+// captures slot-stamped span/event records from the run loop (slot
+// phases, depth changes, drops, allocator decisions, link-rate changes)
+// for export as JSON or a Chrome trace_event file. Like WithTelemetry,
+// recording never perturbs the run. The recorder is concurrency-safe
+// and may be shared across sessions; its ring keeps the newest records
+// once full (see Dropped).
+func WithFlightRecorder(fr *FlightRecorder) Option {
+	return func(c *sessionConfig) { c.recorder = fr }
 }

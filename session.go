@@ -161,6 +161,12 @@ func NewSession(opts ...Option) (*Session, error) {
 			p.Dynamics = c.dynamics
 		}
 		p.Observer = chainObservers(p.Observer, obs)
+		if c.metrics != nil {
+			p.Metrics = c.metrics
+		}
+		if c.recorder != nil {
+			p.Recorder = c.recorder
+		}
 		if c.seedSet {
 			// One seed drives capture and link alike; WithLink's own
 			// Seed (when nonzero) still wins for the link RNG.
@@ -187,6 +193,8 @@ func NewSession(opts ...Option) (*Session, error) {
 			Allocator: c.allocator,
 			Slots:     c.slots,
 			Observer:  obs,
+			Metrics:   c.metrics,
+			Recorder:  c.recorder,
 		}
 		if c.scenario != nil {
 			if cfg.Service == nil {
@@ -229,6 +237,8 @@ func NewSession(opts ...Option) (*Session, error) {
 			Slots:      c.slots,
 			MaxBacklog: c.maxBacklog,
 			Observer:   obs,
+			Metrics:    c.metrics,
+			Recorder:   c.recorder,
 		}
 		if c.scenario != nil {
 			base := c.scenario.SimConfig(nil)
