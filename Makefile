@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check doccheck fuzz-smoke bench bench-fleet bench-content sweep-smoke examples clean
+.PHONY: all build test race vet check doccheck fuzz-smoke bench bench-fleet bench-content bench-edge edge-smoke sweep-smoke examples clean
 
 all: vet check build test
 
@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPLYDecode -fuzztime 10s ./internal/ply
 	$(GO) test -run '^$$' -fuzz FuzzReadTraceCSV -fuzztime 10s ./internal/netem
 	$(GO) test -run '^$$' -fuzz FuzzReadTraceJSON -fuzztime 10s ./internal/netem
+	$(GO) test -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s ./internal/stream
 
 build:
 	$(GO) build ./...
@@ -59,6 +60,24 @@ bench-fleet:
 BENCHTIME ?= 1s
 bench-content:
 	$(GO) run ./cmd/qarvbench -benchtime $(BENCHTIME) > BENCH_content.json
+
+# bench-edge records the live edge service's capacity numbers
+# (sessions/sec, frames/sec, p50/p99/max end-to-end frame latency) from
+# EDGE_SESSIONS concurrent loopback TCP sessions against one
+# stream.Server, into the bench history artifact BENCH_edge.json.
+# EDGE_SESSIONS=64 makes it a CI smoke; history runs use the default.
+EDGE_SESSIONS ?= 1000
+EDGE_FRAMES ?= 20
+bench-edge:
+	$(GO) run ./cmd/qarvbench -edge -sessions $(EDGE_SESSIONS) \
+		-frames $(EDGE_FRAMES) -payload 4096 > BENCH_edge.json
+
+# edge-smoke runs the socket-level edge suite: the soak/conservation,
+# drain, shed, idle-timeout, and ack-failure tests under the race
+# detector, then the end-to-end two-binary CLI test.
+edge-smoke:
+	$(GO) test -race -count=1 ./internal/stream
+	$(GO) test -count=1 -run 'TestEndToEnd|TestMultiDevice' ./cmd/qarvedge ./cmd/qarvdevice
 
 # sweep-smoke drives a tiny 2×2 grid end to end through cmd/qarvsweep
 # (fleet backend, JSON report) — the sweep engine's CLI smoke test.

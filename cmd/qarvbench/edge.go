@@ -1,0 +1,156 @@
+package main
+
+// The edge bench: the BENCH_edge.json series. It stands up a real
+// stream.Server on loopback, runs N concurrent device sessions over N
+// real TCP connections — each shipping M frames and waiting for every
+// acknowledgement — and records fleet-level capacity numbers:
+// sessions/sec (full connect→stream→drain lifecycles), frames/sec, and
+// the p50/p99/max end-to-end frame latency (send→ack round trip,
+// including queueing behind the shared uplink budget).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"qarv/internal/alloc"
+	"qarv/internal/stream"
+)
+
+// edgeBenchResult is the BENCH_edge.json artifact: one record per run,
+// configuration echoed alongside the measurements.
+type edgeBenchResult struct {
+	Name              string  `json:"name"`
+	Sessions          int     `json:"sessions"`
+	FramesPerSession  int     `json:"frames_per_session"`
+	PayloadBytes      int     `json:"payload_bytes"`
+	BudgetBytesPerSec float64 `json:"budget_bytes_per_sec"`
+	Allocator         string  `json:"allocator"`
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	SessionsPerSec    float64 `json:"sessions_per_sec"`
+	FramesPerSec      float64 `json:"frames_per_sec"`
+	P50FrameLatencyMs float64 `json:"p50_frame_latency_ms"`
+	P99FrameLatencyMs float64 `json:"p99_frame_latency_ms"`
+	MaxFrameLatencyMs float64 `json:"max_frame_latency_ms"`
+	FramesServed      int     `json:"frames_served"`
+	BytesServed       uint64  `json:"bytes_served"`
+	AckFailures       int     `json:"ack_failures"`
+	Shed              int     `json:"shed"`
+	FailedSessions    int     `json:"failed_sessions"`
+}
+
+// runEdgeBench drives the loopback fleet and writes the JSON artifact.
+func runEdgeBench(sessions, frames, payloadBytes int, budget float64, allocName string, out io.Writer) error {
+	if sessions < 1 || frames < 1 || payloadBytes < 1 {
+		return fmt.Errorf("edge bench needs positive -sessions, -frames, -payload (got %d, %d, %d)",
+			sessions, frames, payloadBytes)
+	}
+	allocator, err := alloc.ByName(allocName)
+	if err != nil {
+		return err
+	}
+	raiseFDLimit(uint64(4*sessions + 64))
+	srv, err := stream.Serve("127.0.0.1:0", stream.ServerConfig{
+		Budget:    budget,
+		Allocator: allocator,
+	})
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	latCh := make(chan []time.Duration, sessions)
+	errCh := make(chan error, sessions)
+	var wg sync.WaitGroup
+	//qarv:allow nondeterminism benchmarking a live server is wall-clock by definition
+	start := time.Now()
+	for dev := 0; dev < sessions; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			client, err := stream.Dial(srv.Addr())
+			if err != nil {
+				errCh <- fmt.Errorf("session %d: dial: %w", dev, err)
+				return
+			}
+			defer client.Close()
+			for i := 0; i < frames; i++ {
+				if err := client.SendFrame(stream.Frame{
+					ID:      uint32(i),
+					Depth:   8,
+					Payload: payload,
+				}); err != nil {
+					errCh <- fmt.Errorf("session %d frame %d: %w", dev, i, err)
+					return
+				}
+			}
+			if !client.WaitForAcks(2 * time.Minute) {
+				errCh <- fmt.Errorf("session %d: did not drain", dev)
+				return
+			}
+			latCh <- client.Latencies()
+		}(dev)
+	}
+	wg.Wait()
+	//qarv:allow nondeterminism benchmarking a live server is wall-clock by definition
+	elapsed := time.Since(start)
+	close(latCh)
+	close(errCh)
+	if err := srv.Drain(10 * time.Second); err != nil {
+		return err
+	}
+	st := srv.Stats()
+
+	var latencies []time.Duration
+	for ls := range latCh {
+		latencies = append(latencies, ls...)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	failed := len(errCh)
+	res := edgeBenchResult{
+		Name:              "edge-loopback-fleet",
+		Sessions:          sessions,
+		FramesPerSession:  frames,
+		PayloadBytes:      payloadBytes,
+		BudgetBytesPerSec: budget,
+		Allocator:         allocator.Name(),
+		ElapsedSec:        elapsed.Seconds(),
+		SessionsPerSec:    float64(sessions-failed) / elapsed.Seconds(),
+		FramesPerSec:      float64(len(latencies)) / elapsed.Seconds(),
+		P50FrameLatencyMs: latencyMs(latencies, 0.50),
+		P99FrameLatencyMs: latencyMs(latencies, 0.99),
+		MaxFrameLatencyMs: latencyMs(latencies, 1),
+		FramesServed:      st.FramesServed,
+		BytesServed:       st.BytesServed,
+		AckFailures:       st.AckFailures,
+		Shed:              st.Shed,
+		FailedSessions:    failed,
+	}
+	if failed > 0 {
+		// Surface the first failure but still emit the artifact: a
+		// partially failed run is a datapoint, not a silent gap.
+		err = <-errCh
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(res); encErr != nil {
+		return encErr
+	}
+	return err
+}
+
+// latencyMs returns the q-quantile (by nearest-rank on the sorted
+// slice; q=1 means max) in milliseconds, or 0 when empty.
+func latencyMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

@@ -1,17 +1,25 @@
-// Command qarvbench records the content pipeline's benchmark artifact:
-// it drives the four content-path benchmarks (octree build, PLY decode,
-// stream-size ladder, full content-profile build) through
+// Command qarvbench records the repository's benchmark artifacts. Its
+// default mode drives the four content-path benchmarks (octree build,
+// PLY decode, stream-size ladder, full content-profile build) through
 // testing.Benchmark and writes the results as JSON — the
 // BENCH_content.json history artifact, companion to qarvfleet's
 // BENCH_fleet.json.
 //
+// With -edge it instead benches the live edge service: N concurrent
+// device sessions over real loopback TCP connections against one
+// stream.Server, recording sessions/sec, frames/sec, and p50/p99/max
+// end-to-end frame latency — the BENCH_edge.json series.
+//
 // Usage:
 //
-//	qarvbench [-samples N] [-benchtime D] [-json]
+//	qarvbench [-samples N] [-benchtime D]
+//	qarvbench -edge [-sessions N] [-frames M] [-payload BYTES]
+//	          [-edge-budget BYTES_PER_SEC] [-edge-alloc NAME]
 //
-// Output goes to stdout; `make bench-content` redirects it into
-// BENCH_content.json. -benchtime takes the testing package's syntax
-// ("1s", "100x") — CI smokes use 1x, history runs the 1s default.
+// Output goes to stdout; `make bench-content` and `make bench-edge`
+// redirect it into the artifact files. -benchtime takes the testing
+// package's syntax ("1s", "100x") — CI smokes use 1x, history runs the
+// 1s default.
 package main
 
 import (
@@ -52,8 +60,17 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qarvbench", flag.ContinueOnError)
 	samples := fs.Int("samples", 100_000, "synthetic capture surface samples for the octree/PLY workloads")
 	benchtime := fs.String("benchtime", "", `per-benchmark budget in testing syntax ("1s", "100x"); empty keeps the 1s default`)
+	edge := fs.Bool("edge", false, "bench the live edge service over loopback TCP instead of the content pipeline")
+	sessions := fs.Int("sessions", 1000, "edge bench: concurrent device sessions")
+	frames := fs.Int("frames", 20, "edge bench: frames per session")
+	payload := fs.Int("payload", 4096, "edge bench: payload bytes per frame")
+	edgeBudget := fs.Float64("edge-budget", 0, "edge bench: shared uplink budget in bytes/second (0 = unpaced)")
+	edgeAlloc := fs.String("edge-alloc", "equal", "edge bench: budget allocator (equal, proportional, maxweight, wrr)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *edge {
+		return runEdgeBench(*sessions, *frames, *payload, *edgeBudget, *edgeAlloc, out)
 	}
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {

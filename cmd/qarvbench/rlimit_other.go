@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// raiseFDLimit is a no-op off Unix; the edge bench then runs under
+// whatever descriptor limit the platform grants.
+func raiseFDLimit(uint64) {}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit best-effort raises the soft open-file limit toward want
+// (capped at the hard limit), so a multi-thousand-session loopback
+// bench doesn't trip the default 1024-descriptor soft limit on CI
+// runners. Failures are ignored: the bench then simply reports failed
+// sessions.
+func raiseFDLimit(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	lim.Cur = want
+	if lim.Cur > lim.Max {
+		lim.Cur = lim.Max
+	}
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

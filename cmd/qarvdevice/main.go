@@ -2,11 +2,14 @@
 // a qarvedge server: it generates a synthetic capture, encodes the octree
 // stream at every candidate depth, and streams frames with the
 // drift-plus-penalty controller deciding each frame's depth from the live
-// unacknowledged-byte backlog.
+// unacknowledged-byte backlog. With -devices N it becomes a fleet
+// driver: N independent controller loops over N real TCP connections,
+// all sharing the edge's uplink budget — the end-to-end socket version
+// of the simulator's multi-device scenario.
 //
 // Usage:
 //
-//	qarvdevice -addr HOST:PORT [-frames 300] [-interval 10ms]
+//	qarvdevice -addr HOST:PORT [-devices 1] [-frames 300] [-interval 10ms]
 //	           [-samples 60000] [-knee 30] [-seed 1]
 package main
 
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"qarv/internal/core"
@@ -33,10 +37,19 @@ func main() {
 	}
 }
 
+// deviceResult is one controller loop's outcome.
+type deviceResult struct {
+	stats   stream.ClientStats
+	hist    map[int]int
+	drained bool
+	err     error
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qarvdevice", flag.ContinueOnError)
 	addr := fs.String("addr", "", "edge server address (required)")
-	frames := fs.Int("frames", 300, "frames to stream")
+	devices := fs.Int("devices", 1, "concurrent device sessions, each with its own connection and controller")
+	frames := fs.Int("frames", 300, "frames to stream per device")
 	interval := fs.Duration("interval", 10*time.Millisecond, "frame period")
 	samples := fs.Int("samples", 60_000, "synthetic capture surface samples")
 	knee := fs.Float64("knee", 30, "V-calibration knee (frames)")
@@ -48,8 +61,11 @@ func run(args []string, out io.Writer) error {
 	if *addr == "" {
 		return errors.New("missing -addr (start cmd/qarvedge first)")
 	}
+	if *devices < 1 {
+		return errors.New("-devices must be at least 1")
+	}
 
-	// Capture and per-depth encodings.
+	// Capture and per-depth encodings, shared read-only by every device.
 	ch, err := synthetic.ByName(*character)
 	if err != nil {
 		return err
@@ -99,37 +115,64 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.V = v
-	ctrl, err := core.New(cfg)
-	if err != nil {
-		return err
-	}
 
-	client, err := stream.Dial(*addr)
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-	fmt.Fprintf(out, "streaming %d frames to %s (V=%.4g)\n", *frames, *addr, v)
+	fmt.Fprintf(out, "streaming %d devices x %d frames to %s (V=%.4g)\n", *devices, *frames, *addr, v)
 
+	results := make([]deviceResult, *devices)
+	var wg sync.WaitGroup
+	for dev := 0; dev < *devices; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			results[dev] = runDevice(*addr, cfg, depths, payloads, *frames, *interval)
+		}(dev)
+	}
+	wg.Wait()
+
+	// Aggregate across the fleet.
+	var agg stream.ClientStats
 	hist := make(map[int]int, len(depths))
-	for i := 0; i < *frames; i++ {
-		q := client.BacklogBytes()
-		d := ctrl.Decide(i, q)
-		hist[d]++
-		if err := client.SendFrame(stream.Frame{
-			ID:      uint32(i),
-			Depth:   uint8(d),
-			Payload: payloads[d],
-		}); err != nil {
-			return fmt.Errorf("frame %d: %w", i, err)
+	drained, failed := 0, 0
+	var firstErr error
+	var latencySum time.Duration
+	var latencyN int
+	var shareSum float64
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
 		}
-		time.Sleep(*interval)
+		agg.SentFrames += r.stats.SentFrames
+		agg.AckedFrames += r.stats.AckedFrames
+		agg.SentBytes += r.stats.SentBytes
+		agg.AckedBytes += r.stats.AckedBytes
+		agg.AckRegressions += r.stats.AckRegressions
+		if r.stats.MaxLatency > agg.MaxLatency {
+			agg.MaxLatency = r.stats.MaxLatency
+		}
+		latencySum += r.stats.MeanLatency * time.Duration(r.stats.AckedFrames)
+		latencyN += r.stats.AckedFrames
+		shareSum += r.stats.AllocatedBps
+		for d, n := range r.hist {
+			hist[d] += n
+		}
+		if r.drained {
+			drained++
+		}
 	}
-	drained := client.WaitForAcks(30 * time.Second)
-	st := client.Stats()
-	fmt.Fprintf(out, "sent %d frames (%d bytes), acked %d, drained=%v\n",
-		st.SentFrames, st.SentBytes, st.AckedFrames, drained)
-	fmt.Fprintf(out, "round trip mean %v max %v\n", st.MeanLatency, st.MaxLatency)
+	allDrained := failed == 0 && drained == *devices
+	fmt.Fprintf(out, "sent %d frames (%d bytes), acked %d, drained=%v (%d/%d sessions, %d failed)\n",
+		agg.SentFrames, agg.SentBytes, agg.AckedFrames, allDrained, drained, *devices, failed)
+	if latencyN > 0 {
+		agg.MeanLatency = latencySum / time.Duration(latencyN)
+	}
+	fmt.Fprintf(out, "round trip mean %v max %v\n", agg.MeanLatency, agg.MaxLatency)
+	if ok := *devices - failed; ok > 0 && shareSum > 0 {
+		fmt.Fprintf(out, "allocated share mean %.0f B/s across %d sessions\n", shareSum/float64(ok), ok)
+	}
 	fmt.Fprint(out, "depth histogram  ")
 	for _, d := range depths {
 		if hist[d] > 0 {
@@ -137,8 +180,47 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintln(out)
-	if !drained {
+	if agg.AckRegressions > 0 {
+		return fmt.Errorf("%d ack regressions observed (server accounting bug)", agg.AckRegressions)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("%d of %d sessions failed: %w", failed, *devices, firstErr)
+	}
+	if !allDrained {
 		return errors.New("session did not drain")
 	}
 	return nil
+}
+
+// runDevice drives one controller loop over one live connection.
+func runDevice(addr string, cfg core.Config, depths []int, payloads map[int][]byte, frames int, interval time.Duration) deviceResult {
+	res := deviceResult{hist: make(map[int]int, len(depths))}
+	ctrl, err := core.New(cfg)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	client, err := stream.Dial(addr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer client.Close()
+	for i := 0; i < frames; i++ {
+		q := client.BacklogBytes()
+		d := ctrl.Decide(i, q)
+		res.hist[d]++
+		if err := client.SendFrame(stream.Frame{
+			ID:      uint32(i),
+			Depth:   uint8(d),
+			Payload: payloads[d],
+		}); err != nil {
+			res.err = fmt.Errorf("frame %d: %w", i, err)
+			return res
+		}
+		time.Sleep(interval)
+	}
+	res.drained = client.WaitForAcks(30 * time.Second)
+	res.stats = client.Stats()
+	return res
 }

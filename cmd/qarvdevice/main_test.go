@@ -35,16 +35,16 @@ func TestDeviceSessionAgainstInProcessEdge(t *testing.T) {
 	if !strings.Contains(s, "depth histogram") {
 		t.Errorf("missing histogram: %s", s)
 	}
-	frames, _, corrupt := srv.Stats()
-	if frames != 40 || corrupt != 0 {
-		t.Errorf("server saw %d frames, %d corrupt", frames, corrupt)
+	ss := srv.Stats()
+	if ss.FramesServed != 40 || ss.Corrupt != 0 {
+		t.Errorf("server saw %d frames, %d corrupt", ss.FramesServed, ss.Corrupt)
 	}
 }
 
 func TestDeviceAdaptsAgainstPacedEdge(t *testing.T) {
 	// A slow edge: the device must back off below depth 10.
 	srv, err := stream.Serve("127.0.0.1:0", stream.ServerConfig{
-		BytesPerSecond: 1.5e6, // intentionally tight for 5ms frames
+		Budget: 1.5e6, // intentionally tight for 5ms frames
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +82,48 @@ func TestDeviceAdaptsAgainstPacedEdge(t *testing.T) {
 		t.Errorf("device never backed off against a slow edge: %s", line)
 	}
 	_ = time.Millisecond
+}
+
+func TestMultiDeviceFleetAgainstPacedEdge(t *testing.T) {
+	// Four controller loops over four real connections sharing one
+	// budget: every session must drain, the aggregate must conserve
+	// bytes, and each device must have learned its allocated share from
+	// the acks.
+	srv, err := stream.Serve("127.0.0.1:0", stream.ServerConfig{
+		Budget:   16e6,
+		Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", srv.Addr(),
+		"-devices", "4",
+		"-frames", "30",
+		"-interval", "2ms",
+		"-samples", "8000",
+		"-knee", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "drained=true (4/4 sessions, 0 failed)") {
+		t.Errorf("fleet did not fully drain: %s", s)
+	}
+	if !strings.Contains(s, "allocated share mean") {
+		t.Errorf("no allocated-share line (ack backpressure signal missing): %s", s)
+	}
+	ss := srv.Stats()
+	if ss.FramesServed != 4*30 || ss.FramesAcked != 4*30 {
+		t.Errorf("server served %d acked %d, want 120/120", ss.FramesServed, ss.FramesAcked)
+	}
+	if ss.BytesServed != ss.BytesAcked {
+		t.Errorf("served/acked bytes diverged with healthy connections: %+v", ss)
+	}
 }
 
 func TestDeviceErrors(t *testing.T) {

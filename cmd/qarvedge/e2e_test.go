@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildCmd compiles one of the repo's commands into dir and returns the
+// binary path. The e2e test exercises the real executables, not
+// in-process run() calls, so exit codes and signal handling are covered.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "../.." // repo root from cmd/qarvedge
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestEndToEndFleetOverSockets builds qarvedge and qarvdevice, runs a
+// 4-device fleet against a live edge on an ephemeral port, scrapes the
+// edge's Prometheus endpoint mid-traffic, then interrupts the edge and
+// asserts a graceful drain and zero exit codes on both sides.
+func TestEndToEndFleetOverSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	edgeBin := buildCmd(t, dir, "qarvedge")
+	deviceBin := buildCmd(t, dir, "qarvdevice")
+
+	edge := exec.Command(edgeBin,
+		"-addr", "127.0.0.1:0",
+		"-rate", "16000000",
+		"-alloc", "proportional",
+		"-metrics-addr", "127.0.0.1:0",
+		"-drain-timeout", "5s",
+	)
+	edgeOut, err := edge.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge.Stderr = os.Stderr
+	if err := edge.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Process.Kill()
+
+	// The edge announces both its serve and metrics addresses on stdout.
+	addrRe := regexp.MustCompile(`edge listening on (\S+) `)
+	metricsRe := regexp.MustCompile(`metrics on http://(\S+)/metrics`)
+	var addr, metricsAddr string
+	var edgeTail []string
+	scanner := bufio.NewScanner(edgeOut)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+	}()
+	deadline := time.After(30 * time.Second)
+	for addr == "" || metricsAddr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("edge exited before announcing addresses: %s", strings.Join(edgeTail, "\n"))
+			}
+			edgeTail = append(edgeTail, line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				addr = m[1]
+			}
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				metricsAddr = m[1]
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for edge startup: %s", strings.Join(edgeTail, "\n"))
+		}
+	}
+
+	device := exec.Command(deviceBin,
+		"-addr", addr,
+		"-devices", "4",
+		"-frames", "25",
+		"-interval", "2ms",
+		"-samples", "8000",
+		"-knee", "10",
+	)
+	deviceOutput, err := device.CombinedOutput()
+	if err != nil {
+		t.Fatalf("device fleet failed: %v\n%s", err, deviceOutput)
+	}
+	if !strings.Contains(string(deviceOutput), "drained=true (4/4 sessions, 0 failed)") {
+		t.Errorf("fleet did not drain: %s", deviceOutput)
+	}
+
+	// Scrape the metrics endpoint: the served/acked counters and the
+	// allocator-share series must be present and non-zero after traffic.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", metricsAddr))
+	if err != nil {
+		t.Fatalf("metrics scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d: %s", resp.StatusCode, body)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"stream_frames_total",
+		"stream_bytes_total",
+		"stream_bytes_acked_total",
+		"stream_sessions_peak",
+		"stream_alloc_share_bps",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "stream_frames_total ") && strings.HasSuffix(line, " 0") {
+			t.Errorf("frame counter still zero after traffic: %q", line)
+		}
+	}
+
+	// SIGINT triggers the graceful drain path; the edge must exit 0 and
+	// report its final served/acked accounting.
+	if err := edge.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	for line := range lines {
+		edgeTail = append(edgeTail, line)
+	}
+	if err := edge.Wait(); err != nil {
+		t.Fatalf("edge exit: %v\n%s", err, strings.Join(edgeTail, "\n"))
+	}
+	full := strings.Join(edgeTail, "\n")
+	if !strings.Contains(full, "draining (bounded by") {
+		t.Errorf("edge skipped the drain path: %s", full)
+	}
+	if !strings.Contains(full, "served 100 frames") || !strings.Contains(full, "acked 100 frames") {
+		t.Errorf("edge accounting off (want 4x25 served and acked): %s", full)
+	}
+	if !strings.Contains(full, "0 ack failures") || !strings.Contains(full, "0 shed") {
+		t.Errorf("unexpected failures in a healthy run: %s", full)
+	}
+}

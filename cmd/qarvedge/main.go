@@ -1,16 +1,24 @@
-// Command qarvedge runs the edge-side receiver of a live qarv session: a
-// TCP server that accepts depth-controlled octree streams from devices,
-// paces processing at a configured throughput, validates streams, and
-// acknowledges frames. Pair it with cmd/qarvdevice.
+// Command qarvedge runs the edge-side service of a live qarv fleet: a
+// TCP server that accepts depth-controlled octree streams from many
+// device connections at once, multiplexes a shared uplink budget across
+// them through a pluggable allocator, validates streams, and
+// acknowledges frames with the served byte count and each connection's
+// allocated share. Pair it with cmd/qarvdevice.
 //
 // Usage:
 //
-//	qarvedge [-addr 127.0.0.1:7464] [-rate BYTES_PER_SEC] [-validate]
-//	         [-duration 0] [-metrics-addr HOST:PORT]
+//	qarvedge [-addr 127.0.0.1:7464] [-rate BYTES_PER_SEC] [-alloc NAME]
+//	         [-max-conns N] [-idle-timeout D] [-drain-timeout D]
+//	         [-validate] [-duration 0] [-metrics-addr HOST:PORT]
 //
-// With -duration 0 the server runs until interrupted. -metrics-addr
-// additionally serves the live stream_* counters in Prometheus text
-// format at /metrics, plus the standard /debug/pprof endpoints.
+// -rate is the shared uplink budget split across all live connections
+// (0 = unpaced); -alloc picks the split strategy (equal, proportional,
+// maxweight, wrr). -max-conns sheds connections beyond the cap,
+// -idle-timeout drops devices that stop sending. With -duration 0 the
+// server runs until interrupted; shutdown drains gracefully for
+// -drain-timeout (0 = close abruptly). -metrics-addr additionally
+// serves the live stream_* counters in Prometheus text format at
+// /metrics, plus the standard /debug/pprof endpoints.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os/signal"
 	"time"
 
+	"qarv/internal/alloc"
 	"qarv/internal/obs"
 	"qarv/internal/stream"
 )
@@ -40,11 +49,19 @@ func main() {
 func run(args []string, out io.Writer, started func(addr string)) error {
 	fs := flag.NewFlagSet("qarvedge", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7464", "listen address (use :0 for an ephemeral port)")
-	rate := fs.Float64("rate", 2e6, "processing throughput in bytes/second (0 = unpaced)")
+	rate := fs.Float64("rate", 2e6, "shared uplink budget in bytes/second, split across live connections (0 = unpaced)")
+	allocName := fs.String("alloc", "equal", "budget allocator: equal, proportional, maxweight, or wrr")
+	maxConns := fs.Int("max-conns", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "drop a connection idle for this long (0 = no limit)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-drain bound at shutdown (0 = close abruptly)")
 	validate := fs.Bool("validate", true, "decode and validate every received stream")
 	duration := fs.Duration("duration", 0, "serve for this long then exit (0 = until SIGINT)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	allocator, err := alloc.ByName(*allocName)
+	if err != nil {
 		return err
 	}
 
@@ -53,15 +70,18 @@ func run(args []string, out io.Writer, started func(addr string)) error {
 		reg = obs.NewRegistry()
 	}
 	srv, err := stream.Serve(*addr, stream.ServerConfig{
-		BytesPerSecond: *rate,
-		Validate:       *validate,
-		Metrics:        reg,
+		Budget:      *rate,
+		Allocator:   allocator,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+		Validate:    *validate,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "edge listening on %s (rate %.0f B/s, validate=%v)\n",
-		srv.Addr(), *rate, *validate)
+	fmt.Fprintf(out, "edge listening on %s (budget %.0f B/s via %s, max-conns %d, validate=%v)\n",
+		srv.Addr(), *rate, allocator.Name(), *maxConns, *validate)
 	if reg != nil {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -90,17 +110,24 @@ func run(args []string, out io.Writer, started func(addr string)) error {
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 	}
-	if err := srv.Close(); err != nil && !errors.Is(err, stream.ErrServerClosed) {
+	if *drainTimeout > 0 {
+		fmt.Fprintf(out, "draining (bounded by %v)\n", *drainTimeout)
+		err = srv.Drain(*drainTimeout)
+	} else {
+		err = srv.Close()
+	}
+	if err != nil && !errors.Is(err, stream.ErrServerClosed) {
 		return err
 	}
-	// Close drained every handler, so the counters now include frames
-	// that were mid-flight when shutdown began.
-	frames, bytes, corrupt := srv.Stats()
+	// Drain/Close joined every handler, so the counters now include
+	// frames that were mid-flight when shutdown began.
+	st := srv.Stats()
 	// Wait reports why the accept loop exited: ErrServerClosed is the
 	// clean shutdown we just requested, anything else is a real failure.
 	if err := srv.Wait(); !errors.Is(err, stream.ErrServerClosed) {
 		return fmt.Errorf("accept loop failed: %w", err)
 	}
-	fmt.Fprintf(out, "served %d frames, %d bytes, %d corrupt rejected\n", frames, bytes, corrupt)
+	fmt.Fprintf(out, "served %d frames (%d bytes), acked %d frames (%d bytes), %d ack failures, %d corrupt rejected, %d shed\n",
+		st.FramesServed, st.BytesServed, st.FramesAcked, st.BytesAcked, st.AckFailures, st.Corrupt, st.Shed)
 	return nil
 }

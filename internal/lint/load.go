@@ -234,7 +234,11 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return pkg, nil
 }
 
-// parseDir parses the non-test .go files of dir in file-name order.
+// parseDir parses the non-test .go files of dir in file-name order,
+// honoring build constraints (//go:build lines and _GOOS/_GOARCH file
+// suffixes) for the host platform, exactly as `go build` would — a
+// package with platform-split files must not type-check both variants
+// of the same declaration at once.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -244,6 +248,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+				continue
+			}
 			names = append(names, name)
 		}
 	}

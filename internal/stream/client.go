@@ -15,14 +15,16 @@ import (
 type Client struct {
 	conn net.Conn
 
-	mu          sync.Mutex
-	sentBytes   uint64
-	ackedBytes  uint64
-	sentFrames  int
-	ackedFrames int
-	latencies   []time.Duration
-	sendTimes   map[uint32]time.Time
-	readErr     error
+	mu           sync.Mutex
+	sentBytes    uint64
+	ackedBytes   uint64
+	sentFrames   int
+	ackedFrames  int
+	allocatedBps float64
+	regressions  int
+	latencies    []time.Duration
+	sendTimes    map[uint32]time.Time
+	readErr      error
 
 	done chan struct{}
 }
@@ -58,7 +60,15 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Lock()
 		c.ackedFrames++
-		c.ackedBytes = ack.ServedBytes
+		if ack.ServedBytes < c.ackedBytes {
+			// The served counter is cumulative, so a regression is a
+			// server-side accounting bug; count it for the soak tests
+			// rather than silently rewinding the backlog estimate.
+			c.regressions++
+		} else {
+			c.ackedBytes = ack.ServedBytes
+		}
+		c.allocatedBps = float64(ack.AllocatedBps)
 		if sent, ok := c.sendTimes[ack.FrameID]; ok {
 			//qarv:allow nondeterminism RTT measurement over a real socket is wall-clock by definition
 			c.latencies = append(c.latencies, time.Since(sent))
@@ -95,12 +105,28 @@ func (c *Client) BacklogBytes() float64 {
 	return float64(c.sentBytes - c.ackedBytes)
 }
 
+// AllocatedBps returns the edge's most recently acknowledged allocation
+// for this connection in bytes/second — the ack-carried backpressure
+// signal (zero before the first ack, against an unpaced server, or from
+// a protocol-v1 peer).
+func (c *Client) AllocatedBps() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocatedBps
+}
+
 // Stats summarizes the session so far.
 type ClientStats struct {
 	SentFrames  int
 	AckedFrames int
 	SentBytes   uint64
 	AckedBytes  uint64
+	// AllocatedBps is the edge's most recently acked share for this
+	// connection (see Client.AllocatedBps).
+	AllocatedBps float64
+	// AckRegressions counts acks whose cumulative ServedBytes went
+	// backwards — always zero against a correct server.
+	AckRegressions int
 	// MeanLatency is the average send→ack round trip.
 	MeanLatency time.Duration
 	// MaxLatency is the worst round trip.
@@ -112,10 +138,12 @@ func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := ClientStats{
-		SentFrames:  c.sentFrames,
-		AckedFrames: c.ackedFrames,
-		SentBytes:   c.sentBytes,
-		AckedBytes:  c.ackedBytes,
+		SentFrames:     c.sentFrames,
+		AckedFrames:    c.ackedFrames,
+		SentBytes:      c.sentBytes,
+		AckedBytes:     c.ackedBytes,
+		AllocatedBps:   c.allocatedBps,
+		AckRegressions: c.regressions,
 	}
 	var sum time.Duration
 	for _, l := range c.latencies {
@@ -128,6 +156,17 @@ func (c *Client) Stats() ClientStats {
 		st.MeanLatency = sum / time.Duration(len(c.latencies))
 	}
 	return st
+}
+
+// Latencies returns a copy of every send→ack round trip recorded so
+// far, for callers that need the full distribution (bench percentiles)
+// rather than the mean/max summary in Stats.
+func (c *Client) Latencies() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.latencies))
+	copy(out, c.latencies)
+	return out
 }
 
 // WaitForAcks blocks until all sent frames are acknowledged or the

@@ -10,10 +10,17 @@
 //	magic "QSTR" | version u8 | type u8 | length u32 | payload
 //
 //	type 1 (frame): frameID u32 | depth u8 | stream bytes
-//	type 2 (ack):   frameID u32 | servedBytes u64
+//	type 2 (ack):   frameID u32 | servedBytes u64 | allocatedBps u64
+//
+// Version 2 extended the ack with allocatedBps, the sender's current
+// share of the edge's uplink budget in bytes/second — the ack-carried
+// backpressure signal a device-side controller can calibrate against.
+// Readers still accept version-1 messages, whose acks simply lack the
+// field (AllocatedBps reads as zero); writers always emit version 2.
 package stream
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -26,13 +33,23 @@ const (
 	msgAck   byte = 2
 )
 
-// protocol limits: a frame payload is bounded to keep a hostile peer from
-// forcing unbounded allocation.
+// Protocol versions. Writers emit ProtocolVersion; readers accept both.
 const (
-	maxPayload    = 64 << 20 // 64 MiB
-	headerLen     = 4 + 1 + 1 + 4
-	frameMetaLen  = 4 + 1
-	ackPayloadLen = 4 + 8
+	protoV1         byte = 1
+	ProtocolVersion byte = 2
+)
+
+// protocol limits: a frame payload is bounded to keep a hostile peer from
+// forcing unbounded allocation, and reads above initialPayloadAlloc grow
+// incrementally so a forged length field cannot pre-allocate 64 MiB from
+// a ten-byte message.
+const (
+	maxPayload          = 64 << 20 // 64 MiB
+	initialPayloadAlloc = 64 << 10 // grow-from-here cap for large reads
+	headerLen           = 4 + 1 + 1 + 4
+	frameMetaLen        = 4 + 1
+	ackPayloadLenV1     = 4 + 8
+	ackPayloadLen       = 4 + 8 + 8
 )
 
 var wireMagic = [4]byte{'Q', 'S', 'T', 'R'}
@@ -57,6 +74,11 @@ type Frame struct {
 type Ack struct {
 	FrameID     uint32
 	ServedBytes uint64 // cumulative bytes the server has fully processed
+	// AllocatedBps is the sender's current share of the edge's shared
+	// uplink budget in bytes/second — zero on an unpaced server or in a
+	// version-1 ack. Devices use it as the ack-carried backpressure
+	// signal alongside the unacked-byte backlog.
+	AllocatedBps uint64
 }
 
 // writeMessage frames and writes one message.
@@ -66,7 +88,7 @@ func writeMessage(w io.Writer, msgType byte, payload []byte) error {
 	}
 	hdr := make([]byte, 0, headerLen)
 	hdr = append(hdr, wireMagic[:]...)
-	hdr = append(hdr, 1, msgType)
+	hdr = append(hdr, ProtocolVersion, msgType)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -75,31 +97,53 @@ func writeMessage(w io.Writer, msgType byte, payload []byte) error {
 	return err
 }
 
-// readMessage reads one message and returns its type and payload.
-func readMessage(r io.Reader) (byte, []byte, error) {
+// readMessage reads one message and returns its version, type, and
+// payload.
+func readMessage(r io.Reader) (byte, byte, []byte, error) {
 	hdr := make([]byte, headerLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, nil, err // io.EOF passes through for clean shutdown
+		return 0, 0, nil, err // io.EOF passes through for clean shutdown
 	}
 	if [4]byte(hdr[:4]) != wireMagic {
-		return 0, nil, ErrBadWireMagic
+		return 0, 0, nil, ErrBadWireMagic
 	}
-	if hdr[4] != 1 {
-		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	version := hdr[4]
+	if version != protoV1 && version != ProtocolVersion {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	msgType := hdr[5]
 	if msgType != msgFrame && msgType != msgAck {
-		return 0, nil, fmt.Errorf("%w: %d", ErrBadMessageType, msgType)
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadMessageType, msgType)
 	}
 	n := binary.LittleEndian.Uint32(hdr[6:])
 	if n > maxPayload {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrOversized, n)
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrOversized, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrShortMessage, err)
+	payload, err := readPayload(r, int(n))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrShortMessage, err)
 	}
-	return msgType, payload, nil
+	return version, msgType, payload, nil
+}
+
+// readPayload reads exactly n payload bytes. Small payloads are read
+// into one allocation; larger claims grow as bytes actually arrive, so a
+// peer that forges a huge length field but sends nothing costs at most
+// initialPayloadAlloc, not maxPayload.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= initialPayloadAlloc {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(initialPayloadAlloc)
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // WriteFrame sends a frame message.
@@ -116,13 +160,14 @@ func WriteAck(w io.Writer, a Ack) error {
 	payload := make([]byte, 0, ackPayloadLen)
 	payload = binary.LittleEndian.AppendUint32(payload, a.FrameID)
 	payload = binary.LittleEndian.AppendUint64(payload, a.ServedBytes)
+	payload = binary.LittleEndian.AppendUint64(payload, a.AllocatedBps)
 	return writeMessage(w, msgAck, payload)
 }
 
 // ReadMessage reads the next frame or ack; exactly one of the returns is
 // non-nil on success.
 func ReadMessage(r io.Reader) (*Frame, *Ack, error) {
-	msgType, payload, err := readMessage(r)
+	version, msgType, payload, err := readMessage(r)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -137,13 +182,18 @@ func ReadMessage(r io.Reader) (*Frame, *Ack, error) {
 			Payload: payload[frameMetaLen:],
 		}, nil, nil
 	case msgAck:
-		if len(payload) != ackPayloadLen {
+		a := &Ack{}
+		switch {
+		case version == protoV1 && len(payload) == ackPayloadLenV1:
+			// Version 1 acks predate the allocated-rate field.
+		case version == ProtocolVersion && len(payload) == ackPayloadLen:
+			a.AllocatedBps = binary.LittleEndian.Uint64(payload[12:])
+		default:
 			return nil, nil, ErrShortMessage
 		}
-		return nil, &Ack{
-			FrameID:     binary.LittleEndian.Uint32(payload),
-			ServedBytes: binary.LittleEndian.Uint64(payload[4:]),
-		}, nil
+		a.FrameID = binary.LittleEndian.Uint32(payload)
+		a.ServedBytes = binary.LittleEndian.Uint64(payload[4:])
+		return nil, a, nil
 	default:
 		return nil, nil, ErrBadMessageType
 	}

@@ -122,9 +122,12 @@ func TestSessionDeliversAndAcks(t *testing.T) {
 	if client.BacklogBytes() != 0 {
 		t.Errorf("drained backlog = %v", client.BacklogBytes())
 	}
-	gotFrames, gotBytes, corrupt := srv.Stats()
-	if gotFrames != frames || gotBytes != uint64(frames*len(payload)) || corrupt != 0 {
-		t.Errorf("server stats: %d frames, %d bytes, %d corrupt", gotFrames, gotBytes, corrupt)
+	ss := srv.Stats()
+	if ss.FramesServed != frames || ss.BytesServed != uint64(frames*len(payload)) || ss.Corrupt != 0 {
+		t.Errorf("server stats: %+v", ss)
+	}
+	if ss.FramesAcked != frames || ss.BytesAcked != ss.BytesServed || ss.AckFailures != 0 {
+		t.Errorf("served/acked diverged on a healthy session: %+v", ss)
 	}
 	if st.MeanLatency <= 0 || st.MaxLatency < st.MeanLatency {
 		t.Errorf("latencies: %+v", st)
@@ -159,13 +162,13 @@ func TestServerDropsCorruptFrames(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if f, _, c := srv.Stats(); f == 2 && c == 1 {
+		if ss := srv.Stats(); ss.FramesServed == 2 && ss.Corrupt == 1 {
 			return
 		}
 		time.Sleep(time.Millisecond)
 	}
-	f, _, c := srv.Stats()
-	t.Fatalf("server stats after corrupt frame: frames=%d corrupt=%d", f, c)
+	ss := srv.Stats()
+	t.Fatalf("server stats after corrupt frame: frames=%d corrupt=%d", ss.FramesServed, ss.Corrupt)
 }
 
 func TestControllerAdaptsToSlowServer(t *testing.T) {
@@ -204,7 +207,7 @@ func TestControllerAdaptsToSlowServer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := Serve("127.0.0.1:0", ServerConfig{BytesPerSecond: bytesPerSecond})
+	srv, err := Serve("127.0.0.1:0", ServerConfig{Budget: bytesPerSecond})
 	if err != nil {
 		t.Fatal(err)
 	}

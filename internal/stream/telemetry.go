@@ -7,7 +7,8 @@ import "qarv/internal/obs"
 // from this package carry wall-clock microseconds since server start in
 // the Slot field (see Server.sinceMicros).
 const (
-	// MetricConnections counts accepted device connections.
+	// MetricConnections counts admitted device connections (shed
+	// arrivals are counted separately under MetricShed).
 	MetricConnections = "stream_connections_total"
 	// MetricFrames counts frames received and served.
 	MetricFrames = "stream_frames_total"
@@ -17,25 +18,50 @@ const (
 	MetricCorrupt = "stream_corrupt_total"
 	// MetricAcks counts acknowledgements written back to devices.
 	MetricAcks = "stream_acks_total"
+	// MetricBytesAcked counts payload bytes whose acknowledgement
+	// reached the wire. It trails MetricBytes by exactly the bytes whose
+	// ack write failed — the served-vs-acked gap.
+	MetricBytesAcked = "stream_bytes_acked_total"
+	// MetricAckFailures counts frames that were fully served but whose
+	// acknowledgement could not be written (half-closed or dead
+	// connections): the device paid the latency but never learned its
+	// ServedBytes advanced.
+	MetricAckFailures = "stream_ack_failures_total"
+	// MetricShed counts connections closed immediately at accept
+	// because the MaxConns limit was reached.
+	MetricShed = "stream_shed_total"
+	// MetricSessionsPeak is the high-water mark of concurrently
+	// admitted connections.
+	MetricSessionsPeak = "stream_sessions_peak"
 	// MetricStalls counts backpressure stalls: pacing sleeps taken
-	// because a device sent faster than BytesPerSecond.
+	// because a connection's queued bytes exceeded its allocated share.
 	MetricStalls = "stream_backpressure_stalls_total"
 	// MetricStallMicros is the distribution of stall durations in
 	// microseconds.
 	MetricStallMicros = "stream_stall_micros"
+	// MetricAllocShare is the distribution of per-connection allocated
+	// shares in bytes/second, observed at every allocator run — the
+	// series that shows how the shared uplink budget was actually split
+	// across the fleet.
+	MetricAllocShare = "stream_alloc_share_bps"
 )
 
 // serverTelemetry holds pre-resolved instrument handles for the edge
 // server's hot paths; nil when telemetry is disabled.
 type serverTelemetry struct {
-	rec         *obs.FlightRecorder
-	connections *obs.Counter
-	frames      *obs.Counter
-	bytes       *obs.Counter
-	corrupt     *obs.Counter
-	acks        *obs.Counter
-	stalls      *obs.Counter
-	stallMicros *obs.Histogram
+	rec          *obs.FlightRecorder
+	connections  *obs.Counter
+	frames       *obs.Counter
+	bytes        *obs.Counter
+	corrupt      *obs.Counter
+	acks         *obs.Counter
+	bytesAcked   *obs.Counter
+	ackFailures  *obs.Counter
+	shed         *obs.Counter
+	sessionsPeak *obs.Gauge
+	stalls       *obs.Counter
+	stallMicros  *obs.Histogram
+	allocShare   *obs.Histogram
 }
 
 // newServerTelemetry resolves handles against reg; nil when both sinks
@@ -45,13 +71,18 @@ func newServerTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) *serverTelem
 		return nil
 	}
 	return &serverTelemetry{
-		rec:         rec,
-		connections: reg.Counter(MetricConnections),
-		frames:      reg.Counter(MetricFrames),
-		bytes:       reg.Counter(MetricBytes),
-		corrupt:     reg.Counter(MetricCorrupt),
-		acks:        reg.Counter(MetricAcks),
-		stalls:      reg.Counter(MetricStalls),
-		stallMicros: reg.Histogram(MetricStallMicros),
+		rec:          rec,
+		connections:  reg.Counter(MetricConnections),
+		frames:       reg.Counter(MetricFrames),
+		bytes:        reg.Counter(MetricBytes),
+		corrupt:      reg.Counter(MetricCorrupt),
+		acks:         reg.Counter(MetricAcks),
+		bytesAcked:   reg.Counter(MetricBytesAcked),
+		ackFailures:  reg.Counter(MetricAckFailures),
+		shed:         reg.Counter(MetricShed),
+		sessionsPeak: reg.Gauge(MetricSessionsPeak),
+		stalls:       reg.Counter(MetricStalls),
+		stallMicros:  reg.Histogram(MetricStallMicros),
+		allocShare:   reg.Histogram(MetricAllocShare),
 	}
 }
