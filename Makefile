@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check doccheck fuzz-smoke bench bench-fleet bench-content bench-edge edge-smoke sweep-smoke examples clean
+.PHONY: all build test race vet check doccheck fuzz-smoke bench bench-fleet bench-content bench-edge bench-learn edge-smoke sweep-smoke learn-smoke examples clean
 
 all: vet check build test
 
@@ -72,6 +72,13 @@ bench-edge:
 	$(GO) run ./cmd/qarvbench -edge -sessions $(EDGE_SESSIONS) \
 		-frames $(EDGE_FRAMES) -payload 4096 > BENCH_edge.json
 
+# bench-learn records the learning layer's per-slot overhead (every
+# ByName-reachable allocator's Allocate+Learn cycle, the display-policy
+# wrappers' Decide) into the bench history artifact BENCH_learn.json.
+# BENCHTIME=1x makes it a smoke.
+bench-learn:
+	$(GO) run ./cmd/qarvbench -learn -benchtime $(BENCHTIME) > BENCH_learn.json
+
 # edge-smoke runs the socket-level edge suite: the soak/conservation,
 # drain, shed, idle-timeout, and ack-failure tests under the race
 # detector, then the end-to-end two-binary CLI test.
@@ -85,6 +92,24 @@ sweep-smoke:
 	$(GO) run ./cmd/qarvsweep -samples 60000 -slots 200 -seed 1 \
 		-axis v=0.5,2 -axis net=static,markov:0.5 \
 		-backend fleet -sessions 8 -json > /dev/null
+
+# learn-smoke runs the learning layer end to end through cmd/qarvsweep:
+# a small learned-allocator × network grid must produce byte-identical
+# JSON at -workers 1 and -workers 4, a learned-policy axis must run
+# through the fleet-shaped grid, and the learn bench must execute at 1x.
+learn-smoke:
+	$(GO) run ./cmd/qarvsweep -samples 60000 -slots 200 -seed 1 \
+		-axis alloc=equal,bandit:4,gradient:0.2 -axis net=static,markov:0.8:64 \
+		-workers 1 -json > learn_smoke_w1.json
+	$(GO) run ./cmd/qarvsweep -samples 60000 -slots 200 -seed 1 \
+		-axis alloc=equal,bandit:4,gradient:0.2 -axis net=static,markov:0.8:64 \
+		-workers 4 -json > learn_smoke_w4.json
+	cmp learn_smoke_w1.json learn_smoke_w4.json
+	rm -f learn_smoke_w1.json learn_smoke_w4.json
+	$(GO) run ./cmd/qarvsweep -samples 60000 -slots 200 -seed 1 \
+		-axis policy=proposed,predictive-delayed:6 -axis net=static \
+		-json > /dev/null
+	$(GO) run ./cmd/qarvbench -learn -benchtime 1x > /dev/null
 
 # telemetry-smoke runs the observability layer end to end: the pin
 # tests proving metric snapshots are byte-identical per seed at any
@@ -110,6 +135,7 @@ examples:
 	$(GO) run ./examples/networks
 	$(GO) run ./examples/sweep
 	$(GO) run ./examples/content
+	$(GO) run ./examples/learn
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"qarv/internal/alloc"
+	"qarv/internal/geom"
+	"qarv/internal/learn"
+	"qarv/internal/policy"
+)
+
+// learnBenchDevices is the contending-fleet size of the allocator
+// benchmarks — the same 8-device shape the learning ablation sweeps.
+const learnBenchDevices = 8
+
+// runLearnBench benches the learning layer's per-slot overhead: each
+// ByName-reachable allocator's Allocate(+Learn) cycle over an
+// 8-device backlog state, and each display-policy wrapper's Decide,
+// against the static baselines — the BENCH_learn.json series. The
+// numbers bound what a learned strategy costs a slot loop relative to
+// EqualSplit, so regressions in the learners' hot paths surface in the
+// bench history rather than in sweep wall-clock.
+func runLearnBench(out io.Writer) error {
+	rows := make([]benchRow, 0, 16)
+	for _, name := range alloc.CanonicalNames() {
+		a, err := alloc.ByName(name)
+		if err != nil {
+			return fmt.Errorf("allocator %s: %w", name, err)
+		}
+		if r, ok := a.(interface{ Reseed(*geom.RNG) }); ok {
+			r.Reseed(geom.NewRNG(1))
+		}
+		learner, _ := a.(alloc.Learner)
+		backlogs := make([]float64, learnBenchDevices)
+		utilities := make([]float64, learnBenchDevices)
+		shares := make([]float64, learnBenchDevices)
+		rows = append(rows, record("learn-alloc-"+name, 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for d := range backlogs {
+					backlogs[d] = float64((i*7 + d*13) % 97)
+					utilities[d] = float64((i+d)%10) / 10
+				}
+				a.Allocate(i, 100, backlogs, shares)
+				if learner != nil {
+					learner.Learn(i, utilities, backlogs)
+				}
+			}
+		}))
+	}
+
+	// Display-policy wrappers around a trivial inner policy, so the
+	// measured cost is the wrapper's own (EWMA update, ring buffer), not
+	// the controller's argmax.
+	policies := []struct {
+		name string
+		p    policy.Policy
+	}{
+		{"learn-policy-stock", &policy.FixedDepth{Depth: 8}},
+		{"learn-policy-predictive", learn.NewPredictive(&policy.FixedDepth{Depth: 8}, 0, 0)},
+		{"learn-policy-delayed", learn.NewLagged(&policy.FixedDepth{Depth: 8}, 0)},
+		{"learn-policy-predictive-delayed",
+			learn.NewLagged(learn.NewPredictive(&policy.FixedDepth{Depth: 8}, 0, 0), 0)},
+	}
+	for _, pc := range policies {
+		p := pc.p
+		rows = append(rows, record(pc.name, 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Decide(i, float64((i*11)%1000))
+			}
+		}))
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

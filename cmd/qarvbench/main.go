@@ -10,16 +10,22 @@
 // stream.Server, recording sessions/sec, frames/sec, and p50/p99/max
 // end-to-end frame latency — the BENCH_edge.json series.
 //
+// With -learn it benches the learning layer's per-slot overhead: every
+// ByName-reachable allocator's Allocate(+Learn) cycle and the
+// display-policy wrappers' Decide, against the static baselines — the
+// BENCH_learn.json series.
+//
 // Usage:
 //
 //	qarvbench [-samples N] [-benchtime D]
 //	qarvbench -edge [-sessions N] [-frames M] [-payload BYTES]
 //	          [-edge-budget BYTES_PER_SEC] [-edge-alloc NAME]
+//	qarvbench -learn [-benchtime D]
 //
-// Output goes to stdout; `make bench-content` and `make bench-edge`
-// redirect it into the artifact files. -benchtime takes the testing
-// package's syntax ("1s", "100x") — CI smokes use 1x, history runs the
-// 1s default.
+// Output goes to stdout; `make bench-content`, `make bench-edge`, and
+// `make bench-learn` redirect it into the artifact files. -benchtime
+// takes the testing package's syntax ("1s", "100x") — CI smokes use
+// 1x, history runs the 1s default.
 package main
 
 import (
@@ -65,7 +71,8 @@ func run(args []string, out io.Writer) error {
 	frames := fs.Int("frames", 20, "edge bench: frames per session")
 	payload := fs.Int("payload", 4096, "edge bench: payload bytes per frame")
 	edgeBudget := fs.Float64("edge-budget", 0, "edge bench: shared uplink budget in bytes/second (0 = unpaced)")
-	edgeAlloc := fs.String("edge-alloc", "equal", "edge bench: budget allocator (equal, proportional, maxweight, wrr)")
+	edgeAlloc := fs.String("edge-alloc", "equal", "edge bench: budget allocator (any alloc.ByName form, learned families included)")
+	learnBench := fs.Bool("learn", false, "bench the learning layer's per-slot overhead (allocators and display-policy wrappers) instead of the content pipeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +83,9 @@ func run(args []string, out io.Writer) error {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
 			return fmt.Errorf("bad -benchtime: %w", err)
 		}
+	}
+	if *learnBench {
+		return runLearnBench(out)
 	}
 
 	cloud, err := synthetic.Generate(synthetic.Config{

@@ -12,8 +12,10 @@
 //	         [-validate] [-duration 0] [-metrics-addr HOST:PORT]
 //
 // -rate is the shared uplink budget split across all live connections
-// (0 = unpaced); -alloc picks the split strategy (equal, proportional,
-// maxweight, wrr). -max-conns sheds connections beyond the cap,
+// (0 = unpaced); -alloc picks the split strategy — any alloc.ByName
+// form, the static four (equal, proportional, maxweight, wrr) or the
+// learned families (bandit[:ARMS], gradient[:STEP]), which adapt the
+// split online from live backlogs. -max-conns sheds connections beyond the cap,
 // -idle-timeout drops devices that stop sending. With -duration 0 the
 // server runs until interrupted; shutdown drains gracefully for
 // -drain-timeout (0 = close abruptly). -metrics-addr additionally
@@ -30,9 +32,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"qarv/internal/alloc"
+	// The learned allocator families register with alloc.ByName from
+	// learn's init; without this import the edge would only know the
+	// static four.
+	_ "qarv/internal/learn"
 	"qarv/internal/obs"
 	"qarv/internal/stream"
 )
@@ -50,7 +57,7 @@ func run(args []string, out io.Writer, started func(addr string)) error {
 	fs := flag.NewFlagSet("qarvedge", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7464", "listen address (use :0 for an ephemeral port)")
 	rate := fs.Float64("rate", 2e6, "shared uplink budget in bytes/second, split across live connections (0 = unpaced)")
-	allocName := fs.String("alloc", "equal", "budget allocator: equal, proportional, maxweight, or wrr")
+	allocName := fs.String("alloc", "equal", "budget allocator: "+strings.Join(alloc.Names(), ", "))
 	maxConns := fs.Int("max-conns", 0, "shed connections beyond this many concurrent sessions (0 = unlimited)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "drop a connection idle for this long (0 = no limit)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful-drain bound at shutdown (0 = close abruptly)")

@@ -25,6 +25,12 @@
 //	noisy           proposed + ±10% Gaussian service jitter per session
 //	offload         proposed in the bytes domain: stream-size costs
 //	                against an uplink-bandwidth service rate
+//	oracle          best fixed depth for the calibrated service rate
+//	delayed         proposed observing the backlog a control-loop delay
+//	                stale (the display-update lag regime)
+//	predictive      proposed with the learning layer's backlog
+//	                extrapolation one delay ahead
+//	predictive-delayed  both: prediction across the same delayed loop
 //
 // The default mix models a mostly-well-provisioned deployment:
 // proposed:0.7,noisy:0.15,bursty:0.15.
@@ -70,6 +76,7 @@ import (
 	"strings"
 
 	"qarv"
+	"qarv/cmd/internal/names"
 	"qarv/cmd/internal/telemetry"
 )
 
@@ -293,7 +300,18 @@ func buildProfile(scn *qarv.Scenario, name string, weight float64) (qarv.Profile
 	case "offload":
 		return offloadProfile(scn, name, weight)
 	default:
-		return p, fmt.Errorf("unknown profile %q (see qarvfleet -h for the list)", name)
+		// Anything else resolves through the shared CLI policy grammar
+		// (cmd/internal/names): oracle, predictive, delayed,
+		// predictive-delayed, … — a fleet of the proposed controller
+		// wrapped by the learning layer. Parameterized forms are bare
+		// here (defaults apply): the ":" separates the mix weight.
+		spec, err := names.Spec(name)
+		if err != nil {
+			return p, fmt.Errorf("unknown profile %q (see qarvfleet -h for the list): %w", name, err)
+		}
+		p.NewPolicy = func(rng *qarv.RNG) (qarv.Policy, error) {
+			return spec.New(scn, rng)
+		}
 	}
 	return p, nil
 }

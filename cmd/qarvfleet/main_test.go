@@ -62,7 +62,8 @@ func TestRunJSONReport(t *testing.T) {
 
 func TestRunEveryProfileName(t *testing.T) {
 	var out bytes.Buffer
-	mix := "proposed:2,lowv:1,highv:1,max:0.5,min:0.5,threshold:1,random:1,poisson:1,bursty:1,noisy:1,offload:1"
+	mix := "proposed:2,lowv:1,highv:1,max:0.5,min:0.5,threshold:1,random:1,poisson:1,bursty:1,noisy:1,offload:1," +
+		"oracle:1,delayed:1,predictive:1,predictive-delayed:1"
 	if err := run(context.Background(),
 		fleetArgs("-json", "-n", "40", "-mix", mix), &out); err != nil {
 		t.Fatal(err)

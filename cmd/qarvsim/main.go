@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	qarvsim [-policy proposed|max|min|random|threshold|fixed:N]
+//	qarvsim [-policy proposed|max|min|random|threshold|oracle|fixed:N|
+//	                 predictive[:H]|delayed[:L]|predictive-delayed[:L]]
 //	        [-v V] [-knee SLOT] [-slots T] [-samples N] [-service-frac F]
 //	        [-seed S] [-chart] [-metrics FILE] [-trace FILE]
-//	        [-devices N] [-alloc equal|proportional|maxweight|wrr]
+//	        [-devices N] [-alloc equal|proportional|maxweight|wrr|
+//	                             bandit[:ARMS]|gradient[:STEP]]
 //	        [-net static|markov|trace[:FILE]|handoff]
 //	        [-content ASSET|FILE.ply]
 //
 // With -devices N the run becomes the shared-edge multi-device scenario:
 // N copies of the chosen policy contend for N× the calibrated service
-// budget, split per slot by the -alloc strategy.
+// budget, split per slot by the -alloc strategy. The bandit and
+// gradient allocators learn the split online from per-slot utility and
+// backlog feedback; their trajectories are seeded from -seed. The
+// predictive/delayed policy forms wrap the proposed controller with the
+// learning layer's display prediction across a delayed control loop.
 //
 // -net makes the service capacity time-varying: markov modulates it
 // with a Gilbert–Elliott good/bad fading chain (×1 / ×0.3), trace
@@ -38,10 +44,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 
 	"qarv"
+	"qarv/cmd/internal/names"
 	"qarv/cmd/internal/telemetry"
 	"qarv/internal/trace"
 )
@@ -64,7 +70,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("qarvsim", flag.ContinueOnError)
-	policyName := fs.String("policy", "proposed", "policy: proposed, max, min, random, threshold, fixed:N")
+	policyName := fs.String("policy", "proposed", "policy: "+names.PolicyUsage())
 	vOverride := fs.Float64("v", 0, "override the calibrated V (0 = use calibration)")
 	knee := fs.Float64("knee", 400, "calibrated knee slot for the proposed policy")
 	slots := fs.Int("slots", 800, "simulation horizon")
@@ -73,7 +79,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	chart := fs.Bool("chart", false, "render ASCII backlog/depth charts")
 	devices := fs.Int("devices", 0, "run N devices sharing the edge budget (0 = single device)")
-	allocName := fs.String("alloc", "", "multi-device budget split: equal, proportional, maxweight, wrr (default equal)")
+	allocName := fs.String("alloc", "", "multi-device budget split: "+names.AllocatorUsage()+" (default equal)")
 	netName := fs.String("net", "static", "network dynamics modulating the service: static, markov, trace[:FILE], handoff")
 	contentAsset := fs.String("content", "", "ground the run in a measured content profile: synthetic asset name or a .ply file (cost/utility become the asset's measured byte/PSNR ladders)")
 	sinks := telemetry.Flags(fs)
@@ -207,7 +213,7 @@ func runMulti(ctx context.Context, out io.Writer, scn *qarv.Scenario, sinks *tel
 	if allocName == "" {
 		allocName = "equal"
 	}
-	allocator, err := qarv.AllocatorByName(allocName)
+	allocator, err := names.Allocator(allocName, seed)
 	if err != nil {
 		return err
 	}
@@ -309,33 +315,9 @@ func netService(name string, rate float64, seed uint64) (qarv.ServiceProcess, st
 	}
 }
 
+// buildPolicy resolves -policy through the shared CLI grammar
+// (cmd/internal/names): the sweep policy names — learning-layer
+// predictive/delayed forms included — plus fixed:N.
 func buildPolicy(name string, vOverride float64, scn *qarv.Scenario, seed uint64) (qarv.Policy, error) {
-	switch {
-	case name == "proposed":
-		if vOverride > 0 {
-			return scn.ControllerWithV(vOverride)
-		}
-		return scn.Controller()
-	case name == "max":
-		return qarv.NewMaxDepthPolicy(scn.Params.Depths)
-	case name == "min":
-		return qarv.NewMinDepthPolicy(scn.Params.Depths)
-	case name == "random":
-		return qarv.NewRandomPolicy(scn.Params.Depths, seed)
-	case name == "threshold":
-		ctrl, err := scn.Controller()
-		if err != nil {
-			return nil, err
-		}
-		return qarv.NewThresholdPolicy(scn.Params.Depths,
-			0.5*ctrl.SwitchBacklog(), ctrl.SwitchBacklog())
-	case strings.HasPrefix(name, "fixed:"):
-		d, err := strconv.Atoi(strings.TrimPrefix(name, "fixed:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad fixed depth %q: %w", name, err)
-		}
-		return &qarv.FixedDepth{Depth: d}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
+	return names.Policy(scn, name, vOverride, seed)
 }

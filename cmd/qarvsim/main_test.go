@@ -195,3 +195,40 @@ func TestRunContentMultiDevice(t *testing.T) {
 		t.Errorf("multi-device content run missing bytes-domain budget:\n%s", out.String())
 	}
 }
+
+func TestRunLearnedAllocator(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), simArgs("-devices", "3", "-alloc", "bandit:4"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allocator         bandit:4") {
+		t.Errorf("bandit allocator not reported:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), simArgs("-devices", "3", "-alloc", "gradient:0.3"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allocator         gradient:0.3") {
+		t.Errorf("gradient allocator not reported:\n%s", out.String())
+	}
+}
+
+func TestRunLearnedPolicyForms(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), simArgs("-policy", "predictive-delayed:6"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "delayed:6(predictive:6(") {
+		t.Errorf("composed learning policy not reported:\n%s", s)
+	}
+	// Unknown-name errors enumerate the shared grammar.
+	err := run(context.Background(), simArgs("-policy", "clairvoyant"), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "predictive[:H]") {
+		t.Errorf("policy error %v does not enumerate the grammar", err)
+	}
+	err = run(context.Background(), simArgs("-devices", "2", "-alloc", "fifo"), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "bandit[:ARMS]") {
+		t.Errorf("alloc error %v does not enumerate the grammar", err)
+	}
+}

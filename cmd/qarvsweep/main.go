@@ -17,9 +17,11 @@
 //
 // Axis kinds: v (factors of the calibrated V), rate (service-rate
 // fractions), arrivals (Poisson means), slots (horizons), net
-// (static, markov[:VOLATILITY], handoff, trace[:FILE]), alloc
-// (allocator names; pool backend only), policy (proposed, max, min,
-// random, threshold, oracle), content (assets measured through the
+// (static, markov[:VOLATILITY[:DWELL]], handoff, trace[:FILE]), alloc
+// (allocator names, learned forms bandit[:ARMS] and gradient[:STEP]
+// included; pool backend only), policy (proposed, max, min, random,
+// threshold, oracle, predictive[:H], delayed[:L],
+// predictive-delayed[:L]), content (assets measured through the
 // content pipeline — synthetic names or .ply files; cells run over each
 // asset's measured byte/PSNR ladders), viewdist (ASSET:D1,D2,... —
 // view-PSNR at each camera distance in meters). Unknown kinds are
@@ -38,6 +40,7 @@ import (
 	"strings"
 
 	"qarv"
+	"qarv/cmd/internal/names"
 	"qarv/cmd/internal/telemetry"
 	"qarv/internal/trace"
 )
@@ -163,11 +166,11 @@ func buildAxis(spec string, o options) (qarv.SweepAxis, error) {
 		}
 		return qarv.AxisSlots(slots...), nil
 	case "alloc":
-		return qarv.AxisAllocator(strings.Split(list, ",")...), nil
+		return qarv.AxisAllocator(names.List(list)...), nil
 	case "policy":
 		specs := make([]qarv.PolicySpec, 0)
-		for _, p := range strings.Split(list, ",") {
-			ps, err := qarv.SweepPolicyByName(strings.TrimSpace(p))
+		for _, p := range names.List(list) {
+			ps, err := names.Spec(p)
 			if err != nil {
 				return qarv.SweepAxis{}, err
 			}
@@ -176,8 +179,8 @@ func buildAxis(spec string, o options) (qarv.SweepAxis, error) {
 		return qarv.AxisPolicy(specs...), nil
 	case "net":
 		nets := make([]qarv.SweepNetwork, 0)
-		for _, p := range strings.Split(list, ",") {
-			n, err := buildNetwork(strings.TrimSpace(p))
+		for _, p := range names.List(list) {
+			n, err := buildNetwork(p)
 			if err != nil {
 				return qarv.SweepAxis{}, err
 			}
@@ -218,8 +221,10 @@ func buildAxis(spec string, o options) (qarv.SweepAxis, error) {
 	}
 }
 
-// buildNetwork parses one net-axis token: static, markov[:VOLATILITY],
-// handoff, or trace[:FILE].
+// buildNetwork parses one net-axis token: static,
+// markov[:VOLATILITY[:DWELL]], handoff, or trace[:FILE]. The optional
+// dwell (mean fading-state duration in slots) selects the slow-fading
+// shape the learning ablation's predictive policy targets.
 func buildNetwork(token string) (qarv.SweepNetwork, error) {
 	kind, arg, _ := strings.Cut(token, ":")
 	switch kind {
@@ -227,12 +232,20 @@ func buildNetwork(token string) (qarv.SweepNetwork, error) {
 		return qarv.NetworkStatic(), nil
 	case "markov":
 		vol := 0.6
-		if arg != "" {
-			v, err := strconv.ParseFloat(arg, 64)
+		volArg, dwellArg, hasDwell := strings.Cut(arg, ":")
+		if volArg != "" {
+			v, err := strconv.ParseFloat(volArg, 64)
 			if err != nil {
-				return qarv.SweepNetwork{}, fmt.Errorf("net markov: bad volatility %q", arg)
+				return qarv.SweepNetwork{}, fmt.Errorf("net markov: bad volatility %q", volArg)
 			}
 			vol = v
+		}
+		if hasDwell {
+			d, err := strconv.ParseFloat(dwellArg, 64)
+			if err != nil {
+				return qarv.SweepNetwork{}, fmt.Errorf("net markov: bad dwell %q", dwellArg)
+			}
+			return qarv.NetworkMarkovDwell(vol, d), nil
 		}
 		return qarv.NetworkMarkov(vol), nil
 	case "handoff":
@@ -244,7 +257,7 @@ func buildNetwork(token string) (qarv.SweepNetwork, error) {
 		}
 		return qarv.NetworkTraceShape(tb), nil
 	default:
-		return qarv.SweepNetwork{}, fmt.Errorf("unknown network %q (want static, markov[:VOL], handoff, trace[:FILE])", token)
+		return qarv.SweepNetwork{}, fmt.Errorf("unknown network %q (want static, markov[:VOL[:DWELL]], handoff, trace[:FILE])", token)
 	}
 }
 

@@ -138,3 +138,50 @@ func TestRunRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+// TestRunLearnedAxes: the learned allocator and policy forms plus the
+// dwell-parameterized markov shape flow through the axis grammar.
+func TestRunLearnedAxes(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-samples", "30000", "-slots", "120", "-seed", "3",
+		"-axis", "alloc=equal,bandit:4,gradient:0.3",
+		"-axis", "net=markov:0.8:32",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"bandit:4", "gradient:0.3", "markov-v0.80-d32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	out.Reset()
+	err = run(context.Background(), []string{
+		"-samples", "30000", "-slots", "120",
+		"-axis", "policy=proposed,predictive-delayed:6",
+		"-axis", "net=static",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "predictive-delayed:6") {
+		t.Errorf("policy label missing:\n%s", out.String())
+	}
+	// Unknown learned forms are rejected with the grammar enumerated.
+	err = run(context.Background(), []string{
+		"-samples", "30000", "-axis", "alloc=bandit:x", "-axis", "net=static",
+	}, &bytes.Buffer{})
+	if err == nil {
+		t.Error("bandit:x must error")
+	}
+	err = run(context.Background(), []string{
+		"-samples", "30000", "-axis", "policy=precognitive", "-axis", "net=static",
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "predictive[:H]") {
+		t.Errorf("policy error %v does not enumerate the grammar", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Learn: where online learning beats the paper's static control plane.
+//
+// The drift-plus-penalty controller (Eq. (3)) is reactive — each slot
+// it observes Q(t) and solves a closed form. This walkthrough runs the
+// layer above it, internal/learn, in the two places a fixed rule
+// demonstrably leaves utility on the table:
+//
+//   - the shared-edge budget split: an EXP3 bandit over backlog-tilt
+//     arms (arm 0 IS equal-split, high arms approximate max-weight)
+//     and a projected-gradient ascent on the share simplex, both
+//     learning from observed utilities and backlogs;
+//   - the display decision under control delay: deciding on L-slot-old
+//     state (delayed:L) versus extrapolating the backlog forward along
+//     an EWMA velocity estimate first (predictive-delayed:L).
+//
+// qarv.LearnSweep crosses both against network regimes — static,
+// fast-fading Markov, slow-fading Markov (long dwells), mobility
+// handoffs — and ranks each regime stability-first: fewer diverging
+// trajectories wins outright, the drift-plus-penalty score V·U − Q̄
+// breaks ties. The findings this prints are seed-pinned in
+// internal/experiments/learnsweep_test.go.
+//
+// Run: go run ./examples/learn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"qarv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scn, err := qarv.NewScenario(qarv.ScenarioParams{
+		Samples:  40_000,
+		Slots:    800,
+		KneeSlot: 200,
+		Seed:     3,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The canonical grid: six allocators (four static + two learned)
+	// and three display policies across five network regimes.
+	rep, err := qarv.LearnSweep(context.Background(), scn, qarv.LearnSweepParams{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("learning ablation (seed %d, V=%.3f, control lag %d slots)\n\n",
+		rep.Seed, rep.V, rep.Lag)
+
+	fmt.Println("allocator grid — 8 heterogeneous devices contend for one edge budget:")
+	printRegimes(rep.AllocRegimes)
+
+	fmt.Println("policy grid — the controller across a delayed control loop:")
+	printRegimes(rep.PolicyRegimes)
+
+	// The learned components are ordinary Allocators/Policies: plug a
+	// bandit into any multi-device session the same way as maxweight.
+	devs := make([]qarv.Device, 4)
+	for i := range devs {
+		ctrl, err := scn.Controller()
+		if err != nil {
+			return err
+		}
+		devs[i] = qarv.Device{
+			Policy:   ctrl,
+			Cost:     scn.Cost,
+			Utility:  scn.Utility,
+			Arrivals: &qarv.DeterministicArrivals{PerSlot: 1},
+		}
+	}
+	sess, err := qarv.NewSession(
+		qarv.WithScenario(scn),
+		qarv.WithDevices(devs...),
+		qarv.WithAllocator(qarv.NewBandit(qarv.DefaultBanditArms)),
+		qarv.WithSeed(3),
+	)
+	if err != nil {
+		return err
+	}
+	srep, err := sess.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session API: 4 devices under %s -> %s, mean utility %.3f\n",
+		srep.Multi.Allocator, srep.Verdict, srep.Multi.MeanTimeAvgUtility)
+	return nil
+}
+
+// printRegimes lists each network column's winner with the full
+// stability picture: strategies that kept every trajectory stable
+// versus the diverging counts of those that did not.
+func printRegimes(regimes []qarv.LearnRegime) {
+	for _, r := range regimes {
+		fmt.Printf("  %-22s winner %-22s score %12.4g", r.Net, r.Winner, r.Score)
+		if r.RunnerUp != "" {
+			fmt.Printf("  (runner-up %s, %.4g)", r.RunnerUp, r.RunnerUpScore)
+		}
+		fmt.Println()
+		names := make([]string, 0, len(r.Diverging))
+		for name := range r.Diverging {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if d := r.Diverging[name]; d > 0 {
+				fmt.Printf("    ! %-20s %d diverging trajectories\n", name, d)
+			}
+		}
+	}
+	fmt.Println()
+}

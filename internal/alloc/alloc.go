@@ -36,6 +36,17 @@ type Allocator interface {
 	Name() string
 }
 
+// Learner is the optional feedback half of an online-learning
+// allocator. After every slot the simulator reports the outcome the
+// allocator's last Allocate produced: utilities[i] is device i's
+// realized utility for slot t and backlogs[i] its queue at the end of
+// the slot. Static strategies ignore outcomes and simply don't
+// implement Learner; the run loops type-assert and call Learn only
+// when present.
+type Learner interface {
+	Learn(t int, utilities, backlogs []float64)
+}
+
 // EqualSplit is the paper's information-free baseline: every device gets
 // budget/N regardless of backlogs, preserving full distribution (no
 // queue state crosses the air interface). This reproduces the
@@ -260,22 +271,108 @@ func (a *WeightedRoundRobin) Name() string { return "weighted-round-robin" }
 // ErrUnknownAllocator reports a ByName lookup miss.
 var ErrUnknownAllocator = errors.New("alloc: unknown allocator")
 
-// Names lists the strategy names ByName accepts.
-func Names() []string { return []string{"equal", "proportional", "maxweight", "wrr"} }
+// Extension is a ByName strategy contributed by another package (the
+// learned allocators in internal/learn register themselves this way,
+// keeping alloc dependency-free). New receives the text after the
+// first ':' in the parsed name — "" when absent — and builds a fresh
+// allocator per call.
+type Extension struct {
+	// Usage is the grammar shown in Names and lookup errors, e.g.
+	// "bandit[:ARMS]".
+	Usage string
+	// Canonical is a concrete instantiable spelling used by
+	// cross-cutting tests to reach the strategy, e.g. "bandit:8".
+	Canonical string
+	// New builds the allocator from the optional parameter text.
+	New func(param string) (Allocator, error)
+}
 
-// ByName builds a fresh allocator from a CLI-friendly name: "equal",
-// "proportional", "maxweight", or "wrr".
-func ByName(name string) (Allocator, error) {
-	switch strings.ToLower(name) {
-	case "equal", "equal-split":
-		return EqualSplit{}, nil
-	case "proportional", "prop", "proportional-backlog":
-		return &ProportionalBacklog{}, nil
-	case "maxweight", "max-weight":
-		return NewMaxWeight(), nil
-	case "wrr", "weighted-round-robin":
-		return NewWeightedRoundRobin(), nil
-	default:
-		return nil, fmt.Errorf("%w: %q (want one of %s)", ErrUnknownAllocator, name, strings.Join(Names(), ", "))
+// extensions maps a lowercase base name to its registered Extension.
+var extensions = map[string]Extension{}
+
+// Register installs an Extension under a base name (the part of a
+// ByName spec before any ':'). It panics on an empty or duplicate name
+// or a nil constructor — registration happens in package init, where
+// a panic is a build-time bug, not a runtime condition.
+func Register(name string, ext Extension) {
+	name = strings.ToLower(name)
+	if name == "" || strings.Contains(name, ":") {
+		panic(fmt.Sprintf("alloc: invalid extension name %q", name))
 	}
+	if ext.New == nil {
+		panic(fmt.Sprintf("alloc: extension %q has nil constructor", name))
+	}
+	if _, dup := extensions[name]; dup {
+		panic(fmt.Sprintf("alloc: extension %q registered twice", name))
+	}
+	if _, err := ByName(name); err == nil {
+		panic(fmt.Sprintf("alloc: extension %q shadows a built-in name", name))
+	}
+	extensions[name] = ext
+}
+
+// builtinNames lists the built-in strategy names in display order.
+var builtinNames = []string{"equal", "proportional", "maxweight", "wrr"}
+
+// Names lists every name ByName accepts: the built-in strategies plus
+// each registered extension's usage grammar (sorted, so the list is
+// deterministic regardless of registration order).
+func Names() []string {
+	out := append([]string(nil), builtinNames...)
+	exts := make([]string, 0, len(extensions))
+	for _, ext := range extensions {
+		exts = append(exts, ext.Usage)
+	}
+	sort.Strings(exts)
+	return append(out, exts...)
+}
+
+// CanonicalNames lists one concrete instantiable spelling per strategy
+// reachable through ByName — built-ins verbatim, extensions via their
+// Canonical example. Cross-cutting tests iterate this to cover every
+// allocator the CLI surface can construct.
+func CanonicalNames() []string {
+	out := append([]string(nil), builtinNames...)
+	exts := make([]string, 0, len(extensions))
+	for _, ext := range extensions {
+		exts = append(exts, ext.Canonical)
+	}
+	sort.Strings(exts)
+	return append(out, exts...)
+}
+
+// ByName builds a fresh allocator from a CLI-friendly spec. Built-in
+// names are bare ("equal", "proportional", "maxweight", "wrr");
+// registered extensions may carry a parameter after a colon, e.g.
+// "bandit:8" or "gradient:0.25". Lookup errors enumerate every valid
+// name.
+func ByName(name string) (Allocator, error) {
+	base, param, hasParam := strings.Cut(name, ":")
+	switch strings.ToLower(base) {
+	case "equal", "equal-split":
+		if !hasParam {
+			return EqualSplit{}, nil
+		}
+	case "proportional", "prop", "proportional-backlog":
+		if !hasParam {
+			return &ProportionalBacklog{}, nil
+		}
+	case "maxweight", "max-weight":
+		if !hasParam {
+			return NewMaxWeight(), nil
+		}
+	case "wrr", "weighted-round-robin":
+		if !hasParam {
+			return NewWeightedRoundRobin(), nil
+		}
+	default:
+		if ext, ok := extensions[strings.ToLower(base)]; ok {
+			a, err := ext.New(param)
+			if err != nil {
+				return nil, fmt.Errorf("alloc: %s: %w", base, err)
+			}
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (want one of %s)", ErrUnknownAllocator, name, strings.Join(Names(), ", "))
 }

@@ -189,7 +189,9 @@ func TestWeightedRoundRobinRotatesLeftover(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range Names() {
+	// Names() lists usage forms ("bandit[:ARMS]") for help text;
+	// CanonicalNames() lists one instantiable spelling per strategy.
+	for _, name := range CanonicalNames() {
 		a, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)

@@ -1,0 +1,88 @@
+package alloc_test
+
+// Cross-cutting allocator contract: every strategy reachable through
+// alloc.ByName — built-ins and registered extensions alike — must fill
+// shares with non-negative values summing to at most the budget, and
+// every current strategy is work-conserving, so the sum must in fact
+// equal the budget (within float tolerance). The test drives each
+// allocator through a deterministic pseudo-random workload, feeding
+// Learn when the strategy is an online learner, so learned state
+// evolves the way a real run would.
+
+import (
+	"math"
+	"testing"
+
+	"qarv/internal/alloc"
+	"qarv/internal/geom"
+	"qarv/internal/learn" // registers the learned allocators with ByName
+)
+
+// _ asserts the learn package stays linked in (its init registers the
+// bandit/gradient extensions CanonicalNames must enumerate).
+var _ = learn.DefaultArms
+
+func TestEveryByNameAllocatorConservesBudget(t *testing.T) {
+	canon := alloc.CanonicalNames()
+	if len(canon) < 6 {
+		t.Fatalf("CanonicalNames() = %v, expected builtins plus learned extensions", canon)
+	}
+	for _, name := range canon {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := alloc.ByName(name)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", name, err)
+			}
+			if r, ok := a.(interface{ Reseed(*geom.RNG) }); ok {
+				r.Reseed(geom.NewRNG(0xa110c))
+			}
+			learner, _ := a.(alloc.Learner)
+			rng := geom.NewRNG(7)
+			for _, n := range []int{1, 2, 8} {
+				backlogs := make([]float64, n)
+				utilities := make([]float64, n)
+				shares := make([]float64, n)
+				for slot := 0; slot < 200; slot++ {
+					budget := 10 * rng.Float64()
+					switch slot % 4 {
+					case 0: // all queues empty
+						for i := range backlogs {
+							backlogs[i] = 0
+						}
+					case 1: // one heavy queue
+						for i := range backlogs {
+							backlogs[i] = 0
+						}
+						backlogs[rng.Intn(n)] = 1e6
+					default: // mixed pseudo-random load
+						for i := range backlogs {
+							backlogs[i] = 100 * rng.Float64()
+						}
+					}
+					a.Allocate(slot, budget, backlogs, shares)
+					var sum float64
+					for i, s := range shares {
+						if s < 0 {
+							t.Fatalf("slot %d device %d: negative share %v (backlogs %v, budget %v)",
+								slot, i, s, backlogs, budget)
+						}
+						sum += s
+					}
+					if sum > budget+1e-9 {
+						t.Fatalf("slot %d: shares sum %v exceeds budget %v", slot, sum, budget)
+					}
+					if math.Abs(sum-budget) > 1e-9*(1+budget) {
+						t.Fatalf("slot %d: shares sum %v != budget %v (work conservation)", slot, sum, budget)
+					}
+					if learner != nil {
+						for i := range utilities {
+							utilities[i] = rng.Float64()
+						}
+						learner.Learn(slot, utilities, backlogs)
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,10 +6,13 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"qarv/internal/alloc"
 	"qarv/internal/delay"
 	"qarv/internal/geom"
+	"qarv/internal/learn"
 	"qarv/internal/netem"
 	"qarv/internal/policy"
 )
@@ -126,12 +129,30 @@ func AxisPolicy(specs ...PolicySpec) SweepAxis {
 	return SweepAxis{Name: "policy", Points: pts}
 }
 
+// PolicyNames lists every name PolicyByName accepts, in display order;
+// lookup errors enumerate it.
+func PolicyNames() []string {
+	return []string{
+		"proposed", "max", "min", "random", "threshold", "oracle",
+		"predictive[:H]", "delayed[:L]", "predictive-delayed[:L]",
+	}
+}
+
 // PolicyByName builds the built-in policy specs over a calibrated
 // scenario: "proposed" (the drift-plus-penalty controller), "max",
 // "min", "random", "threshold" (hysteresis around the controller's
 // switch backlog), and "oracle" (best fixed depth for the calibrated
-// rate).
+// rate). Three parameterized forms wrap the proposed controller with
+// the learning layer: "predictive[:H]" extrapolates the backlog H
+// slots ahead (learn.Predictive), "delayed[:L]" feeds it observations
+// L slots stale (learn.Lagged — the controller across a delayed
+// control loop), and "predictive-delayed[:L]" composes both with
+// horizon matched to the lag, isolating what prediction buys back
+// under the same delay.
 func PolicyByName(name string) (PolicySpec, error) {
+	if base, param, _ := strings.Cut(name, ":"); base == "predictive" || base == "delayed" || base == "predictive-delayed" {
+		return learnPolicySpec(name, base, param)
+	}
 	switch name {
 	case "proposed":
 		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
@@ -166,14 +187,68 @@ func PolicyByName(name string) (PolicySpec, error) {
 			return policy.BestFixed(s.Params.Depths, s.Cost, s.ServiceRate)
 		}}, nil
 	default:
-		return PolicySpec{}, fmt.Errorf("experiments: unknown policy %q (want proposed, max, min, random, threshold, oracle)", name)
+		return PolicySpec{}, fmt.Errorf("experiments: unknown policy %q (want one of %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// learnPolicySpec builds the parameterized learning-layer policy specs:
+// predictive[:H], delayed[:L], and predictive-delayed[:L].
+func learnPolicySpec(name, base, param string) (PolicySpec, error) {
+	n := 0
+	if param != "" {
+		v, err := strconv.Atoi(param)
+		if err != nil || v < 1 {
+			return PolicySpec{}, fmt.Errorf("experiments: policy %q: bad parameter %q (want a positive slot count)", name, param)
+		}
+		n = v
+	}
+	ctrl := func(s *Scenario) (policy.Policy, error) { return s.Controller() }
+	switch base {
+	case "predictive":
+		h := n
+		if h == 0 {
+			h = learn.DefaultHorizon
+		}
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			inner, err := ctrl(s)
+			if err != nil {
+				return nil, err
+			}
+			return learn.NewPredictive(inner, float64(h), 0), nil
+		}}, nil
+	case "delayed":
+		lag := n
+		if lag == 0 {
+			lag = learn.DefaultLag
+		}
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			inner, err := ctrl(s)
+			if err != nil {
+				return nil, err
+			}
+			return learn.NewLagged(inner, lag), nil
+		}}, nil
+	default: // predictive-delayed
+		lag := n
+		if lag == 0 {
+			lag = learn.DefaultLag
+		}
+		return PolicySpec{Name: name, New: func(s *Scenario, _ *geom.RNG) (policy.Policy, error) {
+			inner, err := ctrl(s)
+			if err != nil {
+				return nil, err
+			}
+			return learn.NewLagged(learn.NewPredictive(inner, float64(lag), 0), lag), nil
+		}}, nil
 	}
 }
 
 // AxisAllocator sweeps the shared-budget split strategy by allocator
-// name ("equal", "proportional", "maxweight", "wrr" — see alloc.ByName),
-// building a fresh instance per cell so stateful allocators never share
-// state. Allocator cells run on the pool backend only.
+// name ("equal", "proportional", "maxweight", "wrr", plus registered
+// parameterized names like "bandit:8" and "gradient:0.2" — see
+// alloc.ByName), building a fresh instance per cell so stateful
+// allocators never share state. Allocator cells run on the pool
+// backend only; learned allocators are reseeded from the cell seed.
 func AxisAllocator(names ...string) SweepAxis {
 	pts := make([]AxisPoint, len(names))
 	for i, name := range names {
@@ -260,6 +335,35 @@ func NetworkMarkov(volatility float64) SweepNetwork {
 			GoodRate: base * (1 + volatility),
 			BadRate:  base * (1 - volatility),
 			PGoodBad: 0.1, PBadGood: 0.1,
+			RNG: rng,
+		}
+	}
+	return n
+}
+
+// NetworkMarkovDwell is NetworkMarkov with an explicit mean state
+// dwell: the good/bad flip probabilities are 1/dwellSlots instead of
+// the ablation's fixed 10-slot dwells. Long dwells turn the fading
+// into slow, sustained capacity epochs — the backlog then trends for
+// tens of slots at a time, which is the regime where predictive
+// extrapolation (learn.Predictive) can actually pay; short dwells
+// mean-revert faster than any useful prediction horizon.
+func NetworkMarkovDwell(volatility, dwellSlots float64) SweepNetwork {
+	n := SweepNetwork{Name: fmt.Sprintf("markov-v%.2f-d%g", volatility, dwellSlots)}
+	if volatility < 0 || volatility >= 1 {
+		n.Err = fmt.Errorf("%w: %v", ErrBadVolatility, volatility)
+		return n
+	}
+	if dwellSlots < 1 {
+		n.Err = fmt.Errorf("experiments: markov dwell must be >= 1 slot, got %g", dwellSlots)
+		return n
+	}
+	p := 1 / dwellSlots
+	n.New = func(base float64, rng *geom.RNG) delay.ServiceProcess {
+		return &netem.MarkovBandwidth{
+			GoodRate: base * (1 + volatility),
+			BadRate:  base * (1 - volatility),
+			PGoodBad: p, PBadGood: p,
 			RNG: rng,
 		}
 	}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func learnScenario(t *testing.T) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioParams{Samples: 40_000, Slots: 800, KneeSlot: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func findRegime(t *testing.T, regs []LearnRegime, net string) LearnRegime {
+	t.Helper()
+	for _, r := range regs {
+		if r.Net == net {
+			return r
+		}
+	}
+	t.Fatalf("no regime for network %q in %+v", net, regs)
+	return LearnRegime{}
+}
+
+// TestLearnSweepRegimes pins the ablation's headline claims on the
+// canonical grid: each learner owns at least one network regime
+// outright, both strictly outrank the equal split everywhere (by the
+// stability-first ranking), and the predictive-display policy beats
+// the stock controller under control-loop delay on the sustained-drift
+// regimes.
+func TestLearnSweepRegimes(t *testing.T) {
+	s := learnScenario(t)
+	rep, err := LearnSweep(context.Background(), s, LearnSweepParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AllocRegimes) != 5 || len(rep.PolicyRegimes) != 5 {
+		t.Fatalf("regime counts = %d alloc, %d policy, want 5 each",
+			len(rep.AllocRegimes), len(rep.PolicyRegimes))
+	}
+
+	// The bandit owns the handoff regime: mobility outages shuffle
+	// which tilt is right, and the EXP3 mixture tracks it.
+	if r := findRegime(t, rep.AllocRegimes, "handoff"); r.Winner != "bandit:8" {
+		t.Errorf("handoff allocator winner = %q (score %v), want bandit:8 (scores %v, diverging %v)",
+			r.Winner, r.Score, r.Scores, r.Diverging)
+	}
+	// The gradient owns the slow-fading regime: long dwells give its
+	// backlog-chasing weights time to converge on each phase.
+	if r := findRegime(t, rep.AllocRegimes, "markov-v0.80-d128"); r.Winner != "gradient:0.2" {
+		t.Errorf("slow-fading allocator winner = %q (score %v), want gradient:0.2 (scores %v, diverging %v)",
+			r.Winner, r.Score, r.Scores, r.Diverging)
+	}
+	// Both learners strictly beat the equal split in every regime:
+	// equal starves the heavy device (diverging trajectories), the
+	// learners keep every queue stable.
+	for _, r := range rep.AllocRegimes {
+		for _, learned := range []string{"bandit:8", "gradient:0.2"} {
+			if r.Diverging[learned] >= r.Diverging["equal"] {
+				t.Errorf("net %s: %s diverging %d not strictly below equal's %d",
+					r.Net, learned, r.Diverging[learned], r.Diverging["equal"])
+			}
+		}
+	}
+
+	// The predictive policy beats the stock controller across the same
+	// delayed loop when backlog trends persist longer than the lag:
+	// outright on the slow-fading column…
+	if r := findRegime(t, rep.PolicyRegimes, "markov-v0.80-d128"); r.Winner != "predictive-delayed:8" {
+		t.Errorf("slow-fading policy winner = %q, want predictive-delayed:8 (scores %v, diverging %v)",
+			r.Winner, r.Scores, r.Diverging)
+	} else if d := r.Scores["predictive-delayed:8"] - r.Scores["delayed:8"]; d < 1e8 {
+		t.Errorf("slow-fading predictive margin over delayed = %v, want a decisive gap", d)
+	}
+	// …and by stability on handoff, where the delayed stock controller
+	// diverges and the predictive one does not.
+	if r := findRegime(t, rep.PolicyRegimes, "handoff"); r.Diverging["delayed:8"] == 0 {
+		t.Errorf("handoff: delayed:8 expected to diverge, got %v", r.Diverging)
+	} else if r.Diverging["predictive-delayed:8"] != 0 {
+		t.Errorf("handoff: predictive-delayed:8 diverged: %v", r.Diverging)
+	}
+}
+
+// TestLearnSweepDeterministicAcrossWorkers locks the seed-pinned
+// contract: the whole report — learned trajectories included — is
+// byte-identical at any worker count, on the pool backend and on the
+// fleet backend.
+func TestLearnSweepDeterministicAcrossWorkers(t *testing.T) {
+	s := learnScenario(t)
+	run := func(workers, fleetSessions int) []byte {
+		rep, err := LearnSweep(context.Background(), s, LearnSweepParams{
+			Workers:       workers,
+			FleetSessions: fleetSessions,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	for _, tc := range []struct {
+		name          string
+		fleetSessions int
+	}{
+		{"pool", 0},
+		{"fleet", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			one := run(1, tc.fleetSessions)
+			four := run(4, tc.fleetSessions)
+			if string(one) != string(four) {
+				t.Fatalf("report differs between -workers 1 and 4 (%d vs %d bytes)", len(one), len(four))
+			}
+		})
+	}
+}
+
+// TestLearnSweepSeedDecorrelates guards against an accidentally shared
+// stream: a different seed must change the learned rows.
+func TestLearnSweepSeedDecorrelates(t *testing.T) {
+	s := learnScenario(t)
+	run := func(seed uint64) *LearnSweepReport {
+		rep, err := LearnSweep(context.Background(), s, LearnSweepParams{
+			Networks:   []SweepNetwork{NetworkHandoff()},
+			Allocators: []string{"bandit:8"},
+			Policies:   []string{"proposed"},
+			Seed:       seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(11), run(12)
+	if a.Alloc.Rows[0].Utility == b.Alloc.Rows[0].Utility &&
+		a.Alloc.Rows[0].Backlog == b.Alloc.Rows[0].Backlog {
+		t.Fatal("bandit rows identical across different sweep seeds")
+	}
+}

@@ -664,9 +664,16 @@ func runMultiCell(ctx context.Context, sw *Sweep, c *SweepCell) (*SweepRow, erro
 		}
 	}
 	rng := geom.NewRNG(c.Seed)
+	svcRNG := rng.Split()
+	// Stochastic allocators (the learned bandit) get their own child
+	// stream, drawn after the service stream so cells with static
+	// allocators keep their historical byte streams.
+	if r, ok := a.(interface{ Reseed(*geom.RNG) }); ok {
+		r.Reseed(rng.Split())
+	}
 	res, err := sim.RunMultiContext(ctx, sim.MultiConfig{
 		Devices:   devices,
-		Service:   c.buildService(budget, rng.Split()),
+		Service:   c.buildService(budget, svcRNG),
 		Allocator: a,
 		Slots:     sw.horizon(c),
 		Metrics:   c.metrics,

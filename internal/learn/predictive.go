@@ -1,0 +1,123 @@
+package learn
+
+import (
+	"fmt"
+
+	"qarv/internal/policy"
+)
+
+// Default knobs for the predictive-display policy: the extrapolation
+// horizon in slots (one control-loop RTT) and the EWMA gain on the
+// backlog velocity estimate.
+const (
+	// DefaultHorizon is the slots-ahead extrapolation when
+	// "predictive" carries no parameter — one default control RTT.
+	DefaultHorizon = 8
+	// DefaultLag is the observation delay when "delayed" carries no
+	// parameter, matched to DefaultHorizon so the predictive policy
+	// compensates exactly one RTT by default.
+	DefaultLag = 8
+	// predictiveAlpha is the EWMA gain on the velocity estimate.
+	predictiveAlpha = 0.25
+)
+
+// Predictive is a predictive-display wrapper around any depth policy:
+// it maintains a constant-velocity motion model over the observed
+// backlog trajectory (EWMA-smoothed first difference) and hands the
+// wrapped controller the backlog extrapolated Horizon slots ahead, so
+// the controller reacts to where the queue *will* be when its decision
+// takes effect rather than where it was when the observation was made.
+// This is the queue-domain analogue of motion extrapolation in
+// predictive-display telesurgery (arXiv:1809.08627): prediction hides
+// the control-loop delay instead of merely adapting to it.
+//
+// Predictive is deterministic and carries only the motion-model state
+// between slots.
+type Predictive struct {
+	inner   policy.Policy
+	horizon float64
+	alpha   float64
+
+	prev    float64
+	vel     float64
+	started bool
+}
+
+var _ policy.Policy = (*Predictive)(nil)
+
+// NewPredictive wraps inner with a motion model extrapolating horizon
+// slots ahead (non-positive horizon falls back to DefaultHorizon;
+// alpha outside (0,1] falls back to the package default).
+func NewPredictive(inner policy.Policy, horizon float64, alpha float64) *Predictive {
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = predictiveAlpha
+	}
+	return &Predictive{inner: inner, horizon: horizon, alpha: alpha}
+}
+
+// Decide implements policy.Policy.
+func (p *Predictive) Decide(slot int, backlog float64) int {
+	if p.started {
+		p.vel = p.alpha*(backlog-p.prev) + (1-p.alpha)*p.vel
+	}
+	p.prev = backlog
+	p.started = true
+	predicted := backlog + p.horizon*p.vel
+	if predicted < 0 {
+		predicted = 0
+	}
+	return p.inner.Decide(slot, predicted)
+}
+
+// Name implements policy.Policy.
+func (p *Predictive) Name() string {
+	return fmt.Sprintf("predictive:%g(%s)", p.horizon, p.inner.Name())
+}
+
+// Lagged delays the backlog observation a policy sees by a fixed
+// number of slots — the evaluation-side model of a controller running
+// across a control loop with delay (the depth decision is computed
+// from state one RTT stale). Until the pipeline fills, the policy sees
+// the initial observation. Wrapping the same controller with and
+// without Predictive inside a Lagged loop isolates exactly what
+// extrapolation buys back.
+type Lagged struct {
+	inner policy.Policy
+	lag   int
+
+	buf []float64
+}
+
+var _ policy.Policy = (*Lagged)(nil)
+
+// NewLagged wraps inner behind a lag-slot observation delay
+// (non-positive lag falls back to DefaultLag).
+func NewLagged(inner policy.Policy, lag int) *Lagged {
+	if lag <= 0 {
+		lag = DefaultLag
+	}
+	return &Lagged{inner: inner, lag: lag}
+}
+
+// Decide implements policy.Policy. Slots are assumed consecutive from
+// 0, as every run loop in this repo guarantees.
+func (p *Lagged) Decide(slot int, backlog float64) int {
+	if p.buf == nil {
+		p.buf = make([]float64, p.lag)
+		for i := range p.buf {
+			p.buf[i] = backlog
+		}
+	}
+	i := slot % p.lag
+	observed := p.buf[i]
+	p.buf[i] = backlog
+	return p.inner.Decide(slot, observed)
+}
+
+// Name implements policy.Policy.
+func (p *Lagged) Name() string {
+	return fmt.Sprintf("delayed:%d(%s)", p.lag, p.inner.Name())
+}

@@ -1,0 +1,48 @@
+package learn
+
+import "qarv/internal/obs"
+
+// Metric names the learning layer registers. The simulator binds these
+// into the run's registry/recorder when the allocator implements
+// BindTelemetry (see internal/sim), so learned runs expose their
+// adaptation trajectory next to the sim_* and alloc_* series.
+const (
+	// MetricRegret is the bandit's cumulative estimated regret: the
+	// empirically-best arm's mean reward times plays, minus the reward
+	// actually collected (normalized reward units).
+	MetricRegret = "learn_regret"
+	// MetricStepSize is the gradient allocator's effective step size
+	// for the latest update (it decays over the run).
+	MetricStepSize = "learn_step_size"
+	// MetricExploration counts slots where the bandit chose its arm by
+	// uniform exploration rather than by the learned weights.
+	MetricExploration = "learn_exploration_total"
+	// MetricUpdates counts Learn feedback calls applied.
+	MetricUpdates = "learn_updates_total"
+)
+
+// telemetry holds pre-resolved learn_* instrument handles, following
+// the sim layer's pattern: a nil *telemetry is the disabled path, and
+// individual handles are nil-safe no-ops.
+type telemetry struct {
+	rec         *obs.FlightRecorder
+	regret      *obs.Gauge
+	step        *obs.Gauge
+	exploration *obs.Counter
+	updates     *obs.Counter
+}
+
+// newTelemetry resolves handles against reg; nil when both sinks are
+// disabled.
+func newTelemetry(reg *obs.Registry, rec *obs.FlightRecorder) *telemetry {
+	if reg == nil && rec == nil {
+		return nil
+	}
+	return &telemetry{
+		rec:         rec,
+		regret:      reg.Gauge(MetricRegret),
+		step:        reg.Gauge(MetricStepSize),
+		exploration: reg.Counter(MetricExploration),
+		updates:     reg.Counter(MetricUpdates),
+	}
+}

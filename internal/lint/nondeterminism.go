@@ -19,6 +19,10 @@ var deterministicPkgs = map[string]bool{
 	"internal/netem":       true,
 	"internal/policy":      true,
 	"internal/alloc":       true,
+	// The learning layer: learned trajectories are part of every sweep
+	// report, so arm draws and weight updates must replay exactly from
+	// the run seed — no clocks, no math/rand, no map-order leaks.
+	"internal/learn": true,
 	"internal/stats":       true,
 	// The telemetry layer: metric snapshots are part of the determinism
 	// contract (byte-identical per seed at any shard or worker count),

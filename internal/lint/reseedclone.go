@@ -44,11 +44,14 @@ func runReseedClone(pass *Pass) error {
 					continue
 				}
 				st, ok := named.Underlying().(*types.Struct)
-				if !ok || !holdsRNG(st) {
+				if !ok || !holdsRNG(st, nil) {
 					continue
 				}
-				missing := missingContract(named)
-				if missing != "" {
+				missing, promoted := missingContract(named)
+				switch {
+				case promoted != "":
+					pass.Reportf(ts.Pos(), "%s holds *geom.RNG but lacks Clone: the promoted Clone returns %s, copying only the embedded state; declare Clone on %s itself", ts.Name.Name, promoted, ts.Name.Name)
+				case missing != "":
 					pass.Reportf(ts.Pos(), "%s holds *geom.RNG but lacks %s; implement the full Reseed/Clone run-isolation contract", ts.Name.Name, missing)
 				}
 			}
@@ -57,44 +60,96 @@ func runReseedClone(pass *Pass) error {
 	return nil
 }
 
-// holdsRNG reports whether the struct has a direct field of type
-// *geom.RNG.
-func holdsRNG(st *types.Struct) bool {
+// holdsRNG reports whether the struct holds a *geom.RNG directly or
+// through embedded structs: a type embedding a learner embeds its
+// generator, so it owns random state just as surely as a direct field.
+// seen guards against embedding cycles.
+func holdsRNG(st *types.Struct, seen map[*types.Struct]bool) bool {
+	if seen[st] {
+		return false
+	}
+	if seen == nil {
+		seen = map[*types.Struct]bool{}
+	}
+	seen[st] = true
 	for i := 0; i < st.NumFields(); i++ {
-		if isNamedIn(st.Field(i).Type(), "RNG", "internal/geom") {
+		f := st.Field(i)
+		if isNamedIn(f.Type(), "RNG", "internal/geom") {
+			return true
+		}
+		if !f.Embedded() {
+			continue
+		}
+		ft := f.Type()
+		if p, ok := ft.Underlying().(*types.Pointer); ok {
+			ft = p.Elem()
+		}
+		if inner, ok := ft.Underlying().(*types.Struct); ok && holdsRNG(inner, seen) {
 			return true
 		}
 	}
 	return false
 }
 
-// missingContract names the missing half(s) of the Reseed/Clone
-// contract on *T, or returns "" when both are present (directly or
-// promoted).
-func missingContract(named *types.Named) string {
+// missingContract checks the Reseed/Clone contract on *T. missing
+// names the absent half(s) ("" when satisfied); promoted, when
+// non-empty, is the return type of a Clone promoted from an embedded
+// field — such a Clone copies only the embedded state, so it does NOT
+// satisfy the contract (the classic leak: wrap a learner, inherit its
+// Clone, and every "isolated" copy still shares the wrapper's state).
+func missingContract(named *types.Named) (missing, promoted string) {
 	ms := types.NewMethodSet(types.NewPointer(named))
-	hasReseed := ms.Lookup(nil, "Reseed") != nil || lookupAnyPkg(ms, "Reseed")
-	hasClone := ms.Lookup(nil, "Clone") != nil || lookupAnyPkg(ms, "Clone")
+	hasReseed := lookupMethod(ms, "Reseed") != nil
+	hasClone := false
+	if clone := lookupMethod(ms, "Clone"); clone != nil {
+		if ret := cloneReturn(clone); returnsOuter(ret, named) {
+			hasClone = true
+		} else if hasReseed {
+			return "", types.TypeString(ret, nil)
+		}
+	}
 	switch {
 	case !hasReseed && !hasClone:
-		return "Reseed and Clone"
+		return "Reseed and Clone", ""
 	case !hasReseed:
-		return "Reseed"
+		return "Reseed", ""
 	case !hasClone:
-		return "Clone"
+		return "Clone", ""
 	}
-	return ""
+	return "", ""
 }
 
-// lookupAnyPkg finds an exported method by name regardless of the
-// querying package (Lookup(nil, ...) only sees exported names, which
-// is what the contract methods are; this helper keeps the intent
-// explicit if an unexported Reseed ever appears).
-func lookupAnyPkg(ms *types.MethodSet, name string) bool {
+// lookupMethod finds a method by name regardless of the querying
+// package (the contract methods are exported, but keeping the scan
+// explicit means an unexported Reseed still counts).
+func lookupMethod(ms *types.MethodSet, name string) *types.Selection {
 	for i := 0; i < ms.Len(); i++ {
 		if ms.At(i).Obj().Name() == name {
-			return true
+			return ms.At(i)
 		}
 	}
-	return false
+	return nil
+}
+
+// cloneReturn extracts a Clone method's single result type (nil when
+// the signature doesn't have exactly one result).
+func cloneReturn(sel *types.Selection) types.Type {
+	sig, ok := sel.Obj().Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return nil
+	}
+	return sig.Results().At(0).Type()
+}
+
+// returnsOuter reports whether a Clone result type is the contract
+// holder itself (T or *T) — the only shape that yields a full copy.
+func returnsOuter(ret types.Type, named *types.Named) bool {
+	if ret == nil {
+		return false
+	}
+	if p, ok := ret.(*types.Pointer); ok {
+		ret = p.Elem()
+	}
+	rn, ok := ret.(*types.Named)
+	return ok && rn.Obj() == named.Obj()
 }

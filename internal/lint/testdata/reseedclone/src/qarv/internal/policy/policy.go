@@ -54,10 +54,54 @@ func (p *Plain) Clone() *Plain {
 	return &c
 }
 
-// Wrapped satisfies the contract through promoted methods.
-type Wrapped struct {
+// Wrapped inherits Reseed and Clone by promotion, but the promoted
+// Clone returns *Full — a copy of the embedded state only, with
+// Wrapped's own rng still shared. The analyzer must reject it.
+type Wrapped struct { // want "Wrapped holds \*geom.RNG but lacks Clone: the promoted Clone returns \*qarv/internal/policy.Full"
 	Full
 	rng *geom.RNG
+}
+
+// Learner mirrors internal/learn's bandit shape: weights plus a
+// generator behind the full contract. Clean.
+type Learner struct {
+	rng     *geom.RNG
+	weights []float64
+}
+
+// Reseed implements the per-run reseeding half.
+func (l *Learner) Reseed(rng *geom.RNG) { l.rng = rng }
+
+// Clone implements the run-isolation half.
+func (l *Learner) Clone() *Learner {
+	c := *l
+	c.rng = l.rng.Clone()
+	c.weights = append([]float64(nil), l.weights...)
+	return &c
+}
+
+// TunedLearner embeds the learner — no direct RNG field, but it owns
+// the generator transitively, and the promoted Clone yields a *Learner
+// whose caller-visible TunedLearner state is never copied. The
+// embedded-RNG case the strengthened analyzer exists to catch.
+type TunedLearner struct { // want "TunedLearner holds \*geom.RNG but lacks Clone: the promoted Clone returns \*qarv/internal/policy.Learner"
+	Learner
+	Bonus float64
+}
+
+// WrappedLearner embeds the learner and declares its own Clone
+// returning the outer type: the only promoted-contract shape that
+// actually isolates. Clean.
+type WrappedLearner struct {
+	Learner
+	Bonus float64
+}
+
+// Clone re-implements the run-isolation half over the whole struct.
+func (w *WrappedLearner) Clone() *WrappedLearner {
+	c := *w
+	c.Learner = *w.Learner.Clone()
+	return &c
 }
 
 // RunScoped's generator is constructed fresh inside each run, so the

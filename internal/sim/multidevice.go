@@ -139,6 +139,20 @@ func RunMultiContext(ctx context.Context, cfg MultiConfig) (*MultiResult, error)
 	if telemetryOn {
 		allocSlots = cfg.Metrics.Counter(MetricAllocSlots)
 		allocShare = cfg.Metrics.Histogram(MetricAllocShare)
+		if lt, ok := allocator.(interface {
+			BindTelemetry(*obs.Registry, *obs.FlightRecorder)
+		}); ok {
+			lt.BindTelemetry(cfg.Metrics, cfg.Recorder)
+		}
+	}
+	// Online-learning allocators close the loop through the optional
+	// Learner interface: after each slot they observe the realized
+	// per-device utilities and end-of-slot backlogs their split
+	// produced.
+	learner, _ := allocator.(alloc.Learner)
+	var utilities []float64
+	if learner != nil {
+		utilities = make([]float64, n)
 	}
 
 	backlogs := make([]float64, n)
@@ -162,6 +176,13 @@ func RunMultiContext(ctx context.Context, cfg MultiConfig) (*MultiResult, error)
 		}
 		for i, r := range runners {
 			r.step(t, shares[i], i, cfg.Observer)
+		}
+		if learner != nil {
+			for i, r := range runners {
+				utilities[i] = r.res.Utility[t]
+				backlogs[i] = r.backlog.Level()
+			}
+			learner.Learn(t, utilities, backlogs)
 		}
 	}
 

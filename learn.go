@@ -1,0 +1,95 @@
+package qarv
+
+import (
+	"context"
+
+	"qarv/internal/alloc"
+	"qarv/internal/experiments"
+	"qarv/internal/learn"
+)
+
+// ---------------------------------------------------------------------------
+// Learning layer (online allocators + predictive display policy)
+// ---------------------------------------------------------------------------
+
+type (
+	// Bandit is the EXP3 online-learning allocator: arms are discrete
+	// backlog-tilt share configurations, rewarded per slot by observed
+	// device utility minus a backlog penalty. Build with NewBandit or
+	// AllocatorByName("bandit:ARMS").
+	Bandit = learn.Bandit
+	// Gradient is the projected-gradient online allocator: per-device
+	// weights on the share simplex chase backlog pressure and utility
+	// deficit with a decaying step. Build with NewGradient or
+	// AllocatorByName("gradient:STEP").
+	Gradient = learn.Gradient
+	// PredictivePolicy wraps a depth policy with an EWMA motion model
+	// over the backlog trajectory, extrapolating the observation one
+	// control-loop delay ahead before deciding.
+	PredictivePolicy = learn.Predictive
+	// LaggedPolicy feeds a depth policy observations a fixed number of
+	// slots stale — the controller across a delayed control loop.
+	LaggedPolicy = learn.Lagged
+	// LearnSweepParams configures the learning-layer ablation; zero
+	// values take the documented defaults.
+	LearnSweepParams = experiments.LearnSweepParams
+	// LearnSweepReport is the ablation's seed-pinned outcome: raw
+	// allocator and policy grids plus per-regime winner tables.
+	LearnSweepReport = experiments.LearnSweepReport
+	// LearnRegime names the winning strategy of one network regime.
+	LearnRegime = experiments.LearnRegime
+)
+
+// Learning-layer defaults, re-exported for callers building learners
+// directly.
+const (
+	DefaultBanditArms        = learn.DefaultArms
+	DefaultGradientStep      = learn.DefaultStep
+	DefaultPredictiveHorizon = learn.DefaultHorizon
+	DefaultControlLag        = learn.DefaultLag
+)
+
+// NewBandit returns the EXP3 allocator over arms backlog-tilt share
+// configurations (engines reseed it per run).
+func NewBandit(arms int) *Bandit { return learn.NewBandit(arms) }
+
+// NewGradient returns the projected-gradient allocator with the given
+// step size (<= 0 takes DefaultGradientStep).
+func NewGradient(step float64) *Gradient { return learn.NewGradient(step) }
+
+// NewPredictivePolicy wraps inner with backlog extrapolation: horizon
+// slots ahead (<= 0 takes DefaultPredictiveHorizon) at EWMA smoothing
+// alpha (<= 0 takes the package default).
+func NewPredictivePolicy(inner Policy, horizon, alpha float64) *PredictivePolicy {
+	return learn.NewPredictive(inner, horizon, alpha)
+}
+
+// NewLaggedPolicy wraps inner with a lag-slot observation delay (<= 0
+// takes DefaultControlLag).
+func NewLaggedPolicy(inner Policy, lag int) *LaggedPolicy { return learn.NewLagged(inner, lag) }
+
+// AllocatorNames lists every name AllocatorByName accepts — builtins
+// plus registered parameterized forms — in display order.
+func AllocatorNames() []string { return alloc.Names() }
+
+// SweepPolicyNames lists every name SweepPolicyByName accepts, in
+// display order.
+func SweepPolicyNames() []string { return experiments.PolicyNames() }
+
+// NetworkMarkovDwell is the slow-fading sweep shape: Gilbert–Elliott
+// fading at the given volatility with mean state dwells of dwellSlots
+// slots — the sustained-drift regime where predictive display pays.
+func NetworkMarkovDwell(volatility, dwellSlots float64) SweepNetwork {
+	return experiments.NetworkMarkovDwell(volatility, dwellSlots)
+}
+
+// LearnSweep runs the learning-layer ablation over a calibrated
+// scenario: learned allocators against every static split strategy, and
+// the predictive-display policy against the stock controller with and
+// without control-loop delay, each crossed with the network axis. The
+// report is byte-identical per seed at any worker count, and its regime
+// tables name each network column's winner by the drift-plus-penalty
+// score V·U − Q̄.
+func LearnSweep(ctx context.Context, s *Scenario, params LearnSweepParams) (*LearnSweepReport, error) {
+	return experiments.LearnSweep(ctx, s, params)
+}

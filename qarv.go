@@ -362,8 +362,11 @@ func NewWeightedRoundRobin(weights ...float64) *WeightedRoundRobin {
 	return alloc.NewWeightedRoundRobin(weights...)
 }
 
-// AllocatorByName builds an allocator from a CLI-friendly name: "equal",
-// "proportional", "maxweight", or "wrr".
+// AllocatorByName builds an allocator from a CLI-friendly name: the
+// static builtins "equal", "proportional", "maxweight", and "wrr", plus
+// the registered parameterized learners "bandit[:ARMS]" and
+// "gradient[:STEP]". Unknown names error with the full enumeration
+// (AllocatorNames).
 func AllocatorByName(name string) (Allocator, error) { return alloc.ByName(name) }
 
 // RunSim executes one slotted simulation.

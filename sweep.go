@@ -105,12 +105,16 @@ func AxisSlots(slots ...int) SweepAxis { return experiments.AxisSlots(slots...) 
 func AxisPolicy(specs ...PolicySpec) SweepAxis { return experiments.AxisPolicy(specs...) }
 
 // SweepPolicyByName builds a built-in policy spec: "proposed", "max",
-// "min", "random", "threshold", or "oracle".
+// "min", "random", "threshold", "oracle", or the learning-layer forms
+// "predictive[:H]", "delayed[:L]", and "predictive-delayed[:L]" (the
+// proposed controller extrapolated H slots ahead, observed L slots
+// stale, or both composed). Unknown names error with the full
+// enumeration (SweepPolicyNames).
 func SweepPolicyByName(name string) (PolicySpec, error) { return experiments.PolicyByName(name) }
 
 // AxisAllocator sweeps the shared-budget split strategy by allocator
-// name ("equal", "proportional", "maxweight", "wrr"), switching cells
-// to multi-device runs; pool backend only.
+// name (any AllocatorByName form, learned allocators included),
+// switching cells to multi-device runs; pool backend only.
 func AxisAllocator(names ...string) SweepAxis { return experiments.AxisAllocator(names...) }
 
 // AxisContent sweeps the content asset: each point recalibrates the
